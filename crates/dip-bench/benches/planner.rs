@@ -1,0 +1,87 @@
+//! Criterion microbenchmarks of the DIP planner's hot paths: the dual-queue
+//! interleaver, the per-rank memory ILP, MCTS-based planning and the
+//! discrete-event executor. These are the components whose speed allows DIP
+//! to generate a fresh schedule within a training iteration (§5.4).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dip_bench::vlm_batch;
+use dip_core::{optimize_memory, DipPlanner, MemoryOptConfig, PlannerConfig};
+use dip_models::{zoo, BatchWorkload};
+use dip_pipeline::{
+    dual_queue, execute, DualQueueConfig, ExecutorConfig, ParallelConfig, StageGraphBuilder,
+    SubMicrobatchPlan,
+};
+use dip_sim::{ClusterSpec, EfficiencyModel, TimingModel};
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+fn vlm_graph(microbatches: usize) -> (dip_pipeline::StageGraph, ClusterSpec, ParallelConfig) {
+    let spec = zoo::vlm_s();
+    let parallel = ParallelConfig::new(4, 4, 1);
+    let cluster = ClusterSpec::h800_cluster(2);
+    let mut k = BTreeMap::new();
+    k.insert(spec.backbone_id().unwrap(), 2usize);
+    let placement = dip_pipeline::separated_placement(&spec, parallel, &k);
+    let builder = StageGraphBuilder::new(&spec, &placement, &cluster);
+    let batches: Vec<BatchWorkload> = (0..microbatches)
+        .map(|i| vlm_batch([8u64, 40, 2, 24][i % 4]))
+        .collect();
+    let plan = SubMicrobatchPlan::uniform(placement.segments.len(), batches.len());
+    (builder.build(&batches, &plan).unwrap(), cluster, parallel)
+}
+
+fn bench_dual_queue(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dual_queue_interleaver");
+    for microbatches in [4usize, 16] {
+        let (graph, ..) = vlm_graph(microbatches);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(microbatches),
+            &graph,
+            |b, graph| b.iter(|| dual_queue::schedule(graph, &DualQueueConfig::default())),
+        );
+    }
+    group.finish();
+}
+
+fn bench_memory_ilp(c: &mut Criterion) {
+    let (graph, cluster, _) = vlm_graph(8);
+    let (orders, _) = dual_queue::schedule(&graph, &DualQueueConfig::default());
+    let budget: Vec<u64> = graph
+        .static_memory
+        .iter()
+        .map(|s| cluster.gpu.usable_memory().saturating_sub(*s) / 4)
+        .collect();
+    c.bench_function("per_rank_memory_ilp", |b| {
+        b.iter(|| optimize_memory(&graph, &orders, &budget, &MemoryOptConfig::default()))
+    });
+}
+
+fn bench_executor(c: &mut Criterion) {
+    let (graph, cluster, parallel) = vlm_graph(16);
+    let (orders, _) = dual_queue::schedule(&graph, &DualQueueConfig::default());
+    let timing = TimingModel::new(cluster.gpu, EfficiencyModel::default());
+    c.bench_function("event_engine_execute", |b| {
+        b.iter(|| execute(&graph, &orders, &cluster, &timing, &ExecutorConfig::new(parallel)).unwrap())
+    });
+}
+
+fn bench_full_planner(c: &mut Criterion) {
+    let spec = zoo::vlm_s();
+    let cluster = ClusterSpec::h800_cluster(2);
+    let parallel = ParallelConfig::new(4, 4, 1);
+    let mut config = PlannerConfig::fast();
+    config.search.time_budget = Duration::from_millis(50);
+    let planner = DipPlanner::new(&spec, parallel, &cluster, config);
+    let batches: Vec<BatchWorkload> = (0..8).map(|i| vlm_batch([8u64, 40, 2, 24][i % 4])).collect();
+    planner.offline_partition(&vlm_batch(24));
+    c.bench_function("dip_plan_iteration_50ms_budget", |b| {
+        b.iter(|| planner.plan_iteration(&batches).unwrap())
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(Duration::from_secs(3)).warm_up_time(Duration::from_millis(500));
+    targets = bench_dual_queue, bench_memory_ilp, bench_executor, bench_full_planner
+}
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Table 1: training performance of 7B-scale models on 8 GPUs (TP2, PP4) —
+//! a unimodal 7B LM versus a ViT 2B + LM 5B VLM on static and dynamic data.
+
+use dip_bench::{fmt_ratio, fmt_s, print_table, vlm_batch, ExperimentScale};
+use dip_models::{zoo, BatchWorkload, Modality, ModalityWorkload};
+use dip_pipeline::baselines::{simulate_megatron, BaselineContext};
+use dip_pipeline::ParallelConfig;
+use dip_sim::ClusterSpec;
+
+fn text_batch(tokens: u64) -> BatchWorkload {
+    BatchWorkload::new().with(Modality::Text, ModalityWorkload::new(tokens, 1))
+}
+
+fn main() {
+    let scale = ExperimentScale::from_env();
+    let cluster = ClusterSpec::h800_cluster(1);
+    let parallel = ParallelConfig::new(2, 4, 1);
+    let n = scale.microbatches;
+
+    let mut rows = Vec::new();
+
+    // Unimodal 7B LM on pure text.
+    let lm = zoo::lm_7b();
+    let ctx = BaselineContext::new(&lm, parallel, &cluster);
+    let batches = vec![text_batch(8192); n];
+    let out = simulate_megatron(&ctx, &batches, 1).unwrap();
+    rows.push(vec![
+        "LM 7B".to_string(),
+        fmt_s(out.metrics.iteration_time_s),
+        format!("{:.1}", out.metrics.model_flops / 1e15),
+        fmt_ratio(out.metrics.mfu),
+    ]);
+
+    // ViT 2B + LM 5B on static data (every microbatch identical).
+    let vlm = zoo::vlm_2b_5b();
+    let ctx = BaselineContext::new(&vlm, parallel, &cluster);
+    let static_batches = vec![vlm_batch(10); n];
+    let out = simulate_megatron(&ctx, &static_batches, 1).unwrap();
+    rows.push(vec![
+        "ViT 2B + LM 5B (static data)".to_string(),
+        fmt_s(out.metrics.iteration_time_s),
+        format!("{:.1}", out.metrics.model_flops / 1e15),
+        fmt_ratio(out.metrics.mfu),
+    ]);
+
+    // Dynamic data: image counts swing between microbatches.
+    let counts = [0u64, 40, 4, 32, 2, 48, 12, 24];
+    let dynamic: Vec<BatchWorkload> = (0..n).map(|i| vlm_batch(counts[i % counts.len()])).collect();
+    let out = simulate_megatron(&ctx, &dynamic, 1).unwrap();
+    rows.push(vec![
+        "ViT 2B + LM 5B (dynamic data)".to_string(),
+        fmt_s(out.metrics.iteration_time_s),
+        format!("{:.1}", out.metrics.model_flops / 1e15),
+        fmt_ratio(out.metrics.mfu),
+    ]);
+
+    print_table(
+        "Table 1 — 7B-scale training on 8 GPUs (TP2, PP4), Megatron-LM 1F1B",
+        &["Model setup", "Time (s)", "PFLOPs", "MFU"],
+        &rows,
+    );
+    println!("Expected shape (paper): MFU drops from ~0.40 (LM) to ~0.35 (VLM, static) to ~0.24 (VLM, dynamic).");
+}

@@ -1,0 +1,221 @@
+//! Shared experiment harness for the DIP reproduction.
+//!
+//! Every binary in `src/bin/` regenerates one table or figure of the paper.
+//! This library holds the pieces they share: experiment scaling (quick runs
+//! by default, `DIP_BENCH_SCALE=full` for paper-scale runs), workload
+//! construction from the synthetic datasets, and running every training
+//! system (Megatron-LM, nnScaler*, Optimus, FSDP and DIP) over the same
+//! batches.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use dip_core::{DipPlanner, PlannerConfig};
+use dip_data::{BatchGenerator, DatasetMix};
+use dip_models::{BatchWorkload, LmmSpec, Modality, ModalityWorkload};
+use dip_pipeline::baselines::{
+    nnscaler_static_plan, simulate_megatron, simulate_nnscaler, simulate_optimus, BaselineContext,
+};
+use dip_pipeline::ParallelConfig;
+use dip_sim::{ClusterSpec, IterationMetrics};
+use std::time::Duration;
+
+/// Scaling of the experiments: `quick` finishes in seconds, `full`
+/// approaches the paper's microbatch counts and search budgets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExperimentScale {
+    /// Microbatches per iteration.
+    pub microbatches: usize,
+    /// Iterations to average over.
+    pub iterations: usize,
+    /// Schedule-search budget in milliseconds.
+    pub search_ms: u64,
+    /// Parallel search workers.
+    pub workers: usize,
+}
+
+impl ExperimentScale {
+    /// Reads the scale from the `DIP_BENCH_SCALE` environment variable
+    /// (`quick` by default, `full` for paper-scale runs).
+    pub fn from_env() -> Self {
+        match std::env::var("DIP_BENCH_SCALE").as_deref() {
+            Ok("full") => Self {
+                microbatches: 32,
+                iterations: 10,
+                search_ms: 2_000,
+                workers: 8,
+            },
+            _ => Self {
+                microbatches: 12,
+                iterations: 3,
+                search_ms: 300,
+                workers: 4,
+            },
+        }
+    }
+
+    /// The planner configuration matching this scale.
+    pub fn planner_config(&self) -> PlannerConfig {
+        let mut config = PlannerConfig::default();
+        config.search.time_budget = Duration::from_millis(self.search_ms);
+        config.search.workers = self.workers;
+        config
+    }
+}
+
+/// A synthetic VLM microbatch with the given image count, packed to the
+/// 8192-token context (images at 169 patch tokens each).
+pub fn vlm_batch(images: u64) -> BatchWorkload {
+    let images = images.min(48);
+    BatchWorkload::new()
+        .with(
+            Modality::Text,
+            ModalityWorkload::new(8192 - images * 169, 1),
+        )
+        .with(Modality::Image, ModalityWorkload::new(images * 169, images))
+}
+
+/// Draws `n` packed VLM microbatch workloads from the default dataset
+/// mixture.
+pub fn vlm_batches_from_datasets(n: usize, seed: u64) -> Vec<BatchWorkload> {
+    let mut generator = BatchGenerator::vlm(DatasetMix::vlm_default(), n, seed);
+    generator.next_batch().workloads()
+}
+
+/// Draws `n` packed T2V microbatch workloads from the default dataset
+/// mixture.
+pub fn t2v_batches_from_datasets(n: usize, seed: u64) -> Vec<BatchWorkload> {
+    let mut generator = BatchGenerator::t2v(DatasetMix::t2v_default(), n, seed);
+    generator.next_batch().workloads()
+}
+
+/// One row of a system-comparison experiment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SystemResult {
+    /// System name ("Megatron-LM", "DIP", ...).
+    pub system: String,
+    /// Mean iteration metrics over the evaluated iterations.
+    pub metrics: IterationMetrics,
+}
+
+/// Runs every applicable training system over the same microbatches and
+/// returns one result per system (in the paper's Fig. 8a order).
+pub fn run_all_systems(
+    spec: &LmmSpec,
+    parallel: ParallelConfig,
+    cluster: &ClusterSpec,
+    batches: &[BatchWorkload],
+    scale: &ExperimentScale,
+) -> Vec<SystemResult> {
+    let ctx = BaselineContext::new(spec, parallel, cluster);
+    let mut results = Vec::new();
+
+    if let Ok(outcome) = simulate_megatron(&ctx, batches, 1) {
+        results.push(SystemResult {
+            system: "Megatron-LM".into(),
+            metrics: outcome.metrics,
+        });
+    }
+    let representative = batches
+        .iter()
+        .max_by_key(|b| b.total_tokens())
+        .cloned()
+        .unwrap_or_default();
+    let static_plan = nnscaler_static_plan(&ctx, &representative, 1);
+    if let Ok(outcome) = simulate_nnscaler(&ctx, &static_plan, batches) {
+        results.push(SystemResult {
+            system: "nnScaler*".into(),
+            metrics: outcome.metrics,
+        });
+    }
+    if let Ok(outcome) = simulate_optimus(&ctx, batches) {
+        results.push(SystemResult {
+            system: "Optimus".into(),
+            metrics: outcome.metrics,
+        });
+    }
+    let planner = DipPlanner::new(spec, parallel, cluster, scale.planner_config());
+    if let Ok((_, outcome)) = planner.plan_and_simulate(batches) {
+        results.push(SystemResult {
+            system: "DIP".into(),
+            metrics: outcome.metrics,
+        });
+    }
+    results
+}
+
+/// Prints a GitHub-flavoured markdown table.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n## {title}\n");
+    println!("| {} |", headers.join(" | "));
+    println!(
+        "|{}|",
+        headers.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+    );
+    for row in rows {
+        println!("| {} |", row.join(" | "));
+    }
+    println!();
+}
+
+/// Formats seconds with three decimals.
+pub fn fmt_s(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+/// Formats a ratio with three decimals.
+pub fn fmt_ratio(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dip_models::zoo;
+
+    #[test]
+    fn scale_defaults_to_quick() {
+        let s = ExperimentScale::from_env();
+        assert!(s.microbatches >= 4);
+        assert!(s.search_ms >= 100);
+    }
+
+    #[test]
+    fn vlm_batch_respects_context_length() {
+        let b = vlm_batch(48);
+        assert_eq!(b.total_tokens(), 8192);
+        let capped = vlm_batch(200);
+        assert!(capped.get(Modality::Image).sequences <= 48);
+    }
+
+    #[test]
+    fn dataset_batches_are_produced() {
+        assert_eq!(vlm_batches_from_datasets(4, 1).len(), 4);
+        assert_eq!(t2v_batches_from_datasets(4, 1).len(), 4);
+    }
+
+    #[test]
+    fn run_all_systems_covers_the_four_vlm_systems() {
+        let spec = zoo::vlm_s();
+        let cluster = ClusterSpec::h800_cluster(2);
+        let scale = ExperimentScale {
+            microbatches: 4,
+            iterations: 1,
+            search_ms: 100,
+            workers: 2,
+        };
+        let batches: Vec<_> = [8u64, 30, 2, 40].iter().map(|&i| vlm_batch(i)).collect();
+        let results = run_all_systems(
+            &spec,
+            ParallelConfig::new(4, 4, 1),
+            &cluster,
+            &batches,
+            &scale,
+        );
+        let names: Vec<&str> = results.iter().map(|r| r.system.as_str()).collect();
+        assert_eq!(names, vec!["Megatron-LM", "nnScaler*", "Optimus", "DIP"]);
+        for r in &results {
+            assert!(r.metrics.iteration_time_s > 0.0);
+        }
+    }
+}

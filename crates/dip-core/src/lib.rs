@@ -1,0 +1,58 @@
+//! DIP: Dynamic Interleaved Pipeline — the paper's primary contribution.
+//!
+//! This crate implements the DIP training planner on top of the substrates in
+//! [`dip_pipeline`], [`dip_sim`] and [`dip_solver`]:
+//!
+//! * [`partitioner`] — the modality-aware partitioner (§4): sub-microbatch
+//!   size selection (the 95%-of-peak rule), per-module pipeline segment
+//!   counts `K_i = ⌊T_i / T_1⌋`, the separated model-chunk placement and the
+//!   per-iteration sub-microbatch plan `M_i = ⌈N_i / B_i⌉`;
+//! * [`ordering`] — the pipeline schedule searcher's first phase (§5.1):
+//!   MCTS over segment orderings with UCB selection, random rollouts and
+//!   score backpropagation, plus DFS and random-exploration variants used in
+//!   the Fig. 11 comparison;
+//! * [`memopt`] — per-layer memory optimisation (§5.3): offline candidate
+//!   generation over the checkpoint/offload ladder and a per-rank group-choice
+//!   ILP with warm start and a 5% optimality gap;
+//! * [`planner`] — the online planning loop (§3.2): prefetch metadata,
+//!   partition microbatches, search a schedule (in parallel on CPU workers),
+//!   optimise memory and deploy the plan, per training iteration;
+//! * [`monolithic`] — the monolithic-ILP baseline of §5.4 / Fig. 12, solved
+//!   exactly by branch and bound in place of Gurobi/Z3.
+//!
+//! # Example
+//!
+//! ```
+//! use dip_core::{DipPlanner, PlannerConfig};
+//! use dip_models::{zoo, BatchWorkload, Modality, ModalityWorkload};
+//! use dip_pipeline::ParallelConfig;
+//! use dip_sim::ClusterSpec;
+//!
+//! let spec = zoo::vlm_s();
+//! let cluster = ClusterSpec::h800_cluster(2);
+//! let planner = DipPlanner::new(&spec, ParallelConfig::new(4, 4, 1), &cluster,
+//!                               PlannerConfig::fast());
+//! let batch = BatchWorkload::new()
+//!     .with(Modality::Text, ModalityWorkload::new(6502, 1))
+//!     .with(Modality::Image, ModalityWorkload::new(1690, 10));
+//! let plan = planner.plan_iteration(&[batch]).unwrap();
+//! let outcome = planner.simulate(&plan).unwrap();
+//! assert!(outcome.metrics.iteration_time_s > 0.0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod memopt;
+pub mod monolithic;
+pub mod ordering;
+pub mod partitioner;
+pub mod planner;
+
+pub use memopt::{optimize_memory, MemoryOptConfig};
+pub use monolithic::{monolithic_ilp_search, MonolithicResult};
+pub use ordering::{
+    search_ordering, OrderingResult, OrderingSearchConfig, SearchProgressPoint, SearchStrategy,
+};
+pub use partitioner::{ModalityAwarePartitioner, PartitionerConfig, PartitionerOutput};
+pub use planner::{DipPlan, DipPlanner, PlannerConfig, PlannerStats};

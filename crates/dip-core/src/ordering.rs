@@ -1,0 +1,517 @@
+//! Pipeline segment reordering (§5.1): Monte Carlo tree search over segment
+//! orderings, plus the DFS and random-exploration variants used as
+//! comparison points in Fig. 11.
+//!
+//! An *ordering* is a permutation of the placement's pipeline segments; the
+//! segment at position `i` receives priority `n − i`, which the dual-queue
+//! interleaver (§5.2) uses whenever several stages compete for a rank.
+//! Segments of the same module within a microbatch have identical pipeline
+//! structure, so (following the paper's search-space reduction) they share a
+//! priority and their relative order is fixed; microbatch order is handled by
+//! the interleaver's tie-breaking.
+
+use dip_pipeline::{dual_queue, DualQueueConfig, RankOrders, StageGraph};
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
+use std::time::{Duration, Instant};
+
+/// Which exploration strategy drives the ordering search.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SearchStrategy {
+    /// Monte Carlo tree search with UCB selection (DIP's default).
+    Mcts,
+    /// Depth-first enumeration of permutations in lexicographic order.
+    Dfs,
+    /// Uniformly random permutations.
+    Random,
+}
+
+/// Configuration of the ordering search.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OrderingSearchConfig {
+    /// Exploration strategy.
+    pub strategy: SearchStrategy,
+    /// Wall-clock budget for the search.
+    pub time_budget: Duration,
+    /// Number of parallel CPU workers exploring the space (§6.2).
+    pub workers: usize,
+    /// Rollouts performed per MCTS expansion.
+    pub rollouts_per_expansion: usize,
+    /// UCB exploration weight (the paper's `β`).
+    pub ucb_beta: f64,
+    /// Exponent applied to the exploitation term (the paper's `α`).
+    pub ucb_alpha: f64,
+    /// Base dual-queue configuration (memory limits etc.); the searched
+    /// segment priorities override its `segment_priorities`.
+    pub dual_queue: DualQueueConfig,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for OrderingSearchConfig {
+    fn default() -> Self {
+        Self {
+            strategy: SearchStrategy::Mcts,
+            time_budget: Duration::from_millis(500),
+            workers: 4,
+            rollouts_per_expansion: 4,
+            ucb_beta: 0.5,
+            ucb_alpha: 1.0,
+            dual_queue: DualQueueConfig::default(),
+            seed: 0,
+        }
+    }
+}
+
+/// A point on the best-score-versus-time curve (Fig. 11).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SearchProgressPoint {
+    /// Elapsed search time when the improvement was found.
+    pub elapsed: Duration,
+    /// Best simulated iteration time found so far, in seconds.
+    pub best_time_s: f64,
+}
+
+/// The outcome of an ordering search.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OrderingResult {
+    /// Priority per placement segment (higher = scheduled earlier).
+    pub segment_priorities: Vec<i64>,
+    /// Best simulated iteration time found, in seconds.
+    pub best_time_s: f64,
+    /// Number of orderings evaluated.
+    pub evaluations: u64,
+    /// Progress curve (monotonically decreasing best time).
+    pub progress: Vec<SearchProgressPoint>,
+    /// The per-rank orders realising the best time.
+    pub orders: RankOrders,
+}
+
+/// Evaluates one ordering: converts it to segment priorities and runs the
+/// dual-queue interleaver, returning the estimated iteration time and orders.
+fn evaluate(
+    graph: &StageGraph,
+    ordering: &[usize],
+    base: &DualQueueConfig,
+) -> (f64, RankOrders, Vec<i64>) {
+    let n = ordering.len();
+    let mut priorities = vec![0i64; n];
+    for (pos, &seg) in ordering.iter().enumerate() {
+        priorities[seg] = (n - pos) as i64;
+    }
+    let config = DualQueueConfig {
+        segment_priorities: priorities.clone(),
+        ..base.clone()
+    };
+    let (orders, makespan) = dual_queue::schedule(graph, &config);
+    (makespan, orders, priorities)
+}
+
+/// Shared best-so-far state across search workers.
+struct Best {
+    time_s: f64,
+    priorities: Vec<i64>,
+    orders: RankOrders,
+    progress: Vec<SearchProgressPoint>,
+}
+
+/// Runs the segment-ordering search over `num_segments` segments of `graph`.
+pub fn search_ordering(
+    graph: &StageGraph,
+    num_segments: usize,
+    config: &OrderingSearchConfig,
+) -> OrderingResult {
+    let start = Instant::now();
+    let identity: Vec<usize> = (0..num_segments).collect();
+    let (t0, o0, p0) = evaluate(graph, &identity, &config.dual_queue);
+    let best = Mutex::new(Best {
+        time_s: t0,
+        priorities: p0,
+        orders: o0,
+        progress: vec![SearchProgressPoint {
+            elapsed: start.elapsed(),
+            best_time_s: t0,
+        }],
+    });
+    let evaluations = AtomicU64::new(1);
+
+    if num_segments > 1 {
+        match config.strategy {
+            SearchStrategy::Mcts => {
+                let tree = Mutex::new(MctsTree::new(num_segments));
+                run_workers(config, |worker| {
+                    mcts_worker(
+                        graph, num_segments, config, &tree, &best, &evaluations, start, worker,
+                    )
+                });
+            }
+            SearchStrategy::Random => {
+                run_workers(config, |worker| {
+                    random_worker(graph, num_segments, config, &best, &evaluations, start, worker)
+                });
+            }
+            SearchStrategy::Dfs => {
+                dfs_search(graph, num_segments, config, &best, &evaluations, start);
+            }
+        }
+    }
+
+    let best = best.into_inner();
+    OrderingResult {
+        segment_priorities: best.priorities,
+        best_time_s: best.time_s,
+        evaluations: evaluations.load(AtomicOrdering::Relaxed),
+        progress: best.progress,
+        orders: best.orders,
+    }
+}
+
+fn run_workers<'scope, F>(config: &OrderingSearchConfig, work: F)
+where
+    F: Fn(usize) + Sync + Send + 'scope,
+{
+    let workers = config.workers.max(1);
+    if workers == 1 {
+        work(0);
+        return;
+    }
+    crossbeam::scope(|scope| {
+        for w in 0..workers {
+            let work = &work;
+            scope.spawn(move |_| work(w));
+        }
+    })
+    .expect("search worker panicked");
+}
+
+fn record_if_better(
+    best: &Mutex<Best>,
+    start: Instant,
+    time_s: f64,
+    priorities: &[i64],
+    orders: &RankOrders,
+) {
+    let mut guard = best.lock();
+    if time_s < guard.time_s {
+        guard.time_s = time_s;
+        guard.priorities = priorities.to_vec();
+        guard.orders = orders.clone();
+        guard.progress.push(SearchProgressPoint {
+            elapsed: start.elapsed(),
+            best_time_s: time_s,
+        });
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Random exploration
+// ---------------------------------------------------------------------------
+
+fn random_worker(
+    graph: &StageGraph,
+    num_segments: usize,
+    config: &OrderingSearchConfig,
+    best: &Mutex<Best>,
+    evaluations: &AtomicU64,
+    start: Instant,
+    worker: usize,
+) {
+    let mut rng = StdRng::seed_from_u64(config.seed ^ (worker as u64).wrapping_mul(0x9E3779B9));
+    let mut ordering: Vec<usize> = (0..num_segments).collect();
+    while start.elapsed() < config.time_budget {
+        ordering.shuffle(&mut rng);
+        let (t, o, p) = evaluate(graph, &ordering, &config.dual_queue);
+        evaluations.fetch_add(1, AtomicOrdering::Relaxed);
+        record_if_better(best, start, t, &p, &o);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// DFS enumeration
+// ---------------------------------------------------------------------------
+
+fn dfs_search(
+    graph: &StageGraph,
+    num_segments: usize,
+    config: &OrderingSearchConfig,
+    best: &Mutex<Best>,
+    evaluations: &AtomicU64,
+    start: Instant,
+) {
+    // Lexicographic enumeration of permutations via Heap-style recursion with
+    // an explicit prefix stack, stopping at the time budget.
+    fn recurse(
+        graph: &StageGraph,
+        config: &OrderingSearchConfig,
+        best: &Mutex<Best>,
+        evaluations: &AtomicU64,
+        start: Instant,
+        prefix: &mut Vec<usize>,
+        remaining: &mut Vec<usize>,
+    ) {
+        if start.elapsed() >= config.time_budget {
+            return;
+        }
+        if remaining.is_empty() {
+            let (t, o, p) = evaluate(graph, prefix, &config.dual_queue);
+            evaluations.fetch_add(1, AtomicOrdering::Relaxed);
+            record_if_better(best, start, t, &p, &o);
+            return;
+        }
+        for i in 0..remaining.len() {
+            let seg = remaining.remove(i);
+            prefix.push(seg);
+            recurse(graph, config, best, evaluations, start, prefix, remaining);
+            prefix.pop();
+            remaining.insert(i, seg);
+        }
+    }
+    let mut prefix = Vec::new();
+    let mut remaining: Vec<usize> = (0..num_segments).collect();
+    recurse(
+        graph,
+        config,
+        best,
+        evaluations,
+        start,
+        &mut prefix,
+        &mut remaining,
+    );
+}
+
+// ---------------------------------------------------------------------------
+// MCTS
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+struct MctsNode {
+    visits: u64,
+    /// Best (lowest) iteration time observed among descendants.
+    best_time: f64,
+    children: HashMap<usize, usize>,
+}
+
+impl MctsNode {
+    fn new() -> Self {
+        Self {
+            visits: 0,
+            best_time: f64::INFINITY,
+            children: HashMap::new(),
+        }
+    }
+}
+
+#[derive(Debug)]
+struct MctsTree {
+    nodes: Vec<MctsNode>,
+}
+
+impl MctsTree {
+    fn new(_num_segments: usize) -> Self {
+        Self {
+            nodes: vec![MctsNode::new()],
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn mcts_worker(
+    graph: &StageGraph,
+    num_segments: usize,
+    config: &OrderingSearchConfig,
+    tree: &Mutex<MctsTree>,
+    best: &Mutex<Best>,
+    evaluations: &AtomicU64,
+    start: Instant,
+    worker: usize,
+) {
+    let mut rng = StdRng::seed_from_u64(config.seed ^ (worker as u64).wrapping_mul(0xA5A5A5A5));
+    while start.elapsed() < config.time_budget {
+        // --- Selection + expansion (under the shared-tree lock). ---
+        let (path, prefix) = {
+            let mut t = tree.lock();
+            let mut node_idx = 0usize;
+            let mut path = vec![0usize];
+            let mut prefix: Vec<usize> = Vec::new();
+            let mut used = vec![false; num_segments];
+            loop {
+                if prefix.len() == num_segments {
+                    break;
+                }
+                let unused: Vec<usize> =
+                    (0..num_segments).filter(|s| !used[*s]).collect();
+                // Expand if some child is missing.
+                let missing: Vec<usize> = unused
+                    .iter()
+                    .copied()
+                    .filter(|s| !t.nodes[node_idx].children.contains_key(s))
+                    .collect();
+                if !missing.is_empty() {
+                    let pick = missing[rng.gen_range(0..missing.len())];
+                    let new_idx = t.nodes.len();
+                    t.nodes.push(MctsNode::new());
+                    t.nodes[node_idx].children.insert(pick, new_idx);
+                    prefix.push(pick);
+                    used[pick] = true;
+                    path.push(new_idx);
+                    break;
+                }
+                // UCB selection among existing children.
+                let parent_visits = t.nodes[node_idx].visits.max(1);
+                let global_best = best.lock().time_s;
+                let mut best_child = None;
+                let mut best_ucb = f64::NEG_INFINITY;
+                for &seg in &unused {
+                    let child_idx = t.nodes[node_idx].children[&seg];
+                    let child = &t.nodes[child_idx];
+                    let exploit = if child.best_time.is_finite() {
+                        (global_best / child.best_time).powf(config.ucb_alpha)
+                    } else {
+                        0.5
+                    };
+                    let explore = config.ucb_beta
+                        * ((parent_visits as f64).ln() / (child.visits.max(1) as f64)).sqrt();
+                    let ucb = exploit + explore;
+                    if ucb > best_ucb {
+                        best_ucb = ucb;
+                        best_child = Some((seg, child_idx));
+                    }
+                }
+                let Some((seg, child_idx)) = best_child else {
+                    break;
+                };
+                prefix.push(seg);
+                used[seg] = true;
+                node_idx = child_idx;
+                path.push(child_idx);
+            }
+            (path, prefix)
+        };
+
+        // --- Rollouts (outside the lock). ---
+        let mut local_best = f64::INFINITY;
+        for _ in 0..config.rollouts_per_expansion.max(1) {
+            let mut ordering = prefix.clone();
+            let mut rest: Vec<usize> = (0..num_segments)
+                .filter(|s| !ordering.contains(s))
+                .collect();
+            rest.shuffle(&mut rng);
+            ordering.extend(rest);
+            let (t, o, p) = evaluate(graph, &ordering, &config.dual_queue);
+            evaluations.fetch_add(1, AtomicOrdering::Relaxed);
+            record_if_better(best, start, t, &p, &o);
+            local_best = local_best.min(t);
+            if start.elapsed() >= config.time_budget {
+                break;
+            }
+        }
+
+        // --- Backpropagation. ---
+        let mut t = tree.lock();
+        for idx in path {
+            let node = &mut t.nodes[idx];
+            node.visits += 1;
+            if local_best < node.best_time {
+                node.best_time = local_best;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dip_models::{zoo, BatchWorkload, Modality, ModalityWorkload};
+    use dip_pipeline::{separated_placement, ParallelConfig, StageGraphBuilder, SubMicrobatchPlan};
+    use dip_sim::ClusterSpec;
+    use std::collections::BTreeMap;
+
+    fn vlm_graph(num_microbatches: usize) -> (StageGraph, usize) {
+        let spec = zoo::vlm_s();
+        let parallel = ParallelConfig::new(4, 4, 1);
+        let mut k = BTreeMap::new();
+        k.insert(spec.backbone_id().unwrap(), 2usize);
+        let placement = separated_placement(&spec, parallel, &k);
+        let cluster = ClusterSpec::h800_cluster(2);
+        let builder = StageGraphBuilder::new(&spec, &placement, &cluster);
+        let batch = BatchWorkload::new()
+            .with(Modality::Text, ModalityWorkload::new(6502, 1))
+            .with(Modality::Image, ModalityWorkload::new(1690, 10));
+        let batches = vec![batch; num_microbatches];
+        let plan = SubMicrobatchPlan::uniform(placement.segments.len(), batches.len());
+        let graph = builder.build(&batches, &plan).unwrap();
+        let n = placement.segments.len();
+        (graph, n)
+    }
+
+    fn quick_config(strategy: SearchStrategy) -> OrderingSearchConfig {
+        OrderingSearchConfig {
+            strategy,
+            time_budget: Duration::from_millis(200),
+            workers: 2,
+            rollouts_per_expansion: 2,
+            ..OrderingSearchConfig::default()
+        }
+    }
+
+    #[test]
+    fn mcts_search_returns_a_complete_schedule() {
+        let (graph, n) = vlm_graph(4);
+        let result = search_ordering(&graph, n, &quick_config(SearchStrategy::Mcts));
+        assert_eq!(result.segment_priorities.len(), n);
+        assert!(result.best_time_s.is_finite() && result.best_time_s > 0.0);
+        assert!(result.evaluations >= 1);
+        assert_eq!(result.orders.num_stages(), graph.items.len());
+        // Progress is monotonically non-increasing.
+        for w in result.progress.windows(2) {
+            assert!(w[1].best_time_s <= w[0].best_time_s);
+        }
+    }
+
+    #[test]
+    fn search_improves_or_matches_the_identity_ordering() {
+        let (graph, n) = vlm_graph(6);
+        let identity: Vec<usize> = (0..n).collect();
+        let (identity_time, _, _) = evaluate(&graph, &identity, &DualQueueConfig::default());
+        for strategy in [SearchStrategy::Mcts, SearchStrategy::Random, SearchStrategy::Dfs] {
+            let result = search_ordering(&graph, n, &quick_config(strategy));
+            assert!(
+                result.best_time_s <= identity_time + 1e-9,
+                "{strategy:?}: {} vs identity {}",
+                result.best_time_s,
+                identity_time
+            );
+        }
+    }
+
+    #[test]
+    fn all_strategies_count_evaluations() {
+        let (graph, n) = vlm_graph(2);
+        for strategy in [SearchStrategy::Mcts, SearchStrategy::Random, SearchStrategy::Dfs] {
+            let result = search_ordering(&graph, n, &quick_config(strategy));
+            assert!(result.evaluations >= 1, "{strategy:?}");
+        }
+    }
+
+    #[test]
+    fn single_segment_graph_needs_no_search() {
+        let spec = zoo::lm_7b();
+        let parallel = ParallelConfig::new(2, 2, 1);
+        let placement =
+            dip_pipeline::balanced_param_placement(&spec, parallel, 1);
+        let cluster = ClusterSpec::h800_cluster(1);
+        let builder = StageGraphBuilder::new(&spec, &placement, &cluster);
+        let batch = BatchWorkload::new()
+            .with(Modality::Text, ModalityWorkload::from_tokens(4096));
+        let plan = SubMicrobatchPlan::uniform(1, 1);
+        let graph = builder.build(&[batch], &plan).unwrap();
+        let result = search_ordering(&graph, 1, &quick_config(SearchStrategy::Mcts));
+        assert_eq!(result.evaluations, 1);
+        assert_eq!(result.segment_priorities.len(), 1);
+    }
+}

@@ -1,0 +1,412 @@
+//! The DIP online planner (§3.2): for every training iteration, prefetched
+//! microbatch metadata is turned into sub-microbatches, a pipeline schedule
+//! is searched on idle CPU workers, per-layer memory strategies are chosen,
+//! and the resulting execution plan is deployed (here: simulated).
+
+use crate::memopt::{optimize_memory, MemoryOptConfig};
+use crate::ordering::{search_ordering, OrderingResult, OrderingSearchConfig, SearchStrategy};
+use crate::partitioner::{ModalityAwarePartitioner, PartitionerConfig, PartitionerOutput};
+use dip_models::{BatchWorkload, LmmSpec};
+use dip_pipeline::{
+    dual_queue, execute, DualQueueConfig, ExecutionOutcome, ExecutorConfig, MemoryPlan,
+    ParallelConfig, PipelineError, RankOrders, StageGraph, StageGraphBuilder, SubMicrobatchPlan,
+};
+use dip_sim::{ClusterSpec, EfficiencyModel, TimingModel};
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::time::{Duration, Instant};
+
+/// Configuration of the DIP planner.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlannerConfig {
+    /// Modality-aware partitioner settings (§4).
+    pub partitioner: PartitionerConfig,
+    /// Segment-ordering search settings (§5.1).
+    pub search: OrderingSearchConfig,
+    /// Per-layer memory optimisation settings (§5.3).
+    pub memory: MemoryOptConfig,
+    /// Efficiency factors of the underlying timing model.
+    pub efficiency: EfficiencyModel,
+    /// Enables the pipeline schedule searcher. Disabling it yields the
+    /// "DIP (no-opt)" variant of Fig. 8b (modality-aware partitioner only).
+    pub enable_search: bool,
+    /// Enables per-layer memory optimisation.
+    pub enable_memory_opt: bool,
+}
+
+impl Default for PlannerConfig {
+    fn default() -> Self {
+        Self {
+            partitioner: PartitionerConfig::default(),
+            search: OrderingSearchConfig::default(),
+            memory: MemoryOptConfig::default(),
+            efficiency: EfficiencyModel::default(),
+            enable_search: true,
+            enable_memory_opt: true,
+        }
+    }
+}
+
+impl PlannerConfig {
+    /// A configuration with a short search budget, handy for tests and
+    /// examples.
+    pub fn fast() -> Self {
+        Self {
+            search: OrderingSearchConfig {
+                time_budget: Duration::from_millis(150),
+                workers: 2,
+                ..OrderingSearchConfig::default()
+            },
+            ..Self::default()
+        }
+    }
+
+    /// The "DIP (no-opt)" variant: modality-aware partitioning only, no
+    /// schedule search and no memory optimisation (Fig. 8b / Table 5 row 1).
+    pub fn no_opt() -> Self {
+        Self {
+            enable_search: false,
+            enable_memory_opt: false,
+            ..Self::fast()
+        }
+    }
+
+    /// Selects the ordering-search strategy (MCTS, DFS or random).
+    pub fn with_strategy(mut self, strategy: SearchStrategy) -> Self {
+        self.search.strategy = strategy;
+        self
+    }
+}
+
+/// Statistics of one planning invocation.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct PlannerStats {
+    /// Wall-clock time spent planning (search + memory optimisation).
+    pub planning_time: Duration,
+    /// Number of schedule candidates evaluated by the searcher.
+    pub search_evaluations: u64,
+    /// The searcher's own estimate of the planned iteration time (seconds).
+    pub planned_time_s: f64,
+}
+
+/// A deployed execution plan for one training iteration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DipPlan {
+    /// The stage graph (with memory strategies applied).
+    pub graph: StageGraph,
+    /// Per-rank execution orders.
+    pub orders: RankOrders,
+    /// The segment priorities chosen by the searcher.
+    pub segment_priorities: Vec<i64>,
+    /// The per-stage-pair memory strategies.
+    pub memory_plan: MemoryPlan,
+    /// The sub-microbatch plan used for this iteration.
+    pub sub_microbatches: SubMicrobatchPlan,
+    /// Planner statistics.
+    pub stats: PlannerStats,
+}
+
+/// The DIP training planner.
+#[derive(Debug)]
+pub struct DipPlanner<'a> {
+    spec: &'a LmmSpec,
+    parallel: ParallelConfig,
+    cluster: &'a ClusterSpec,
+    config: PlannerConfig,
+    timing: TimingModel,
+    partition: Mutex<Option<PartitionerOutput>>,
+}
+
+impl<'a> DipPlanner<'a> {
+    /// Creates a planner. The offline model-chunk partitioning happens on the
+    /// first planned iteration (or via [`DipPlanner::offline_partition`]).
+    pub fn new(
+        spec: &'a LmmSpec,
+        parallel: ParallelConfig,
+        cluster: &'a ClusterSpec,
+        config: PlannerConfig,
+    ) -> Self {
+        let timing = TimingModel::new(cluster.gpu, config.efficiency);
+        Self {
+            spec,
+            parallel,
+            cluster,
+            config,
+            timing,
+            partition: Mutex::new(None),
+        }
+    }
+
+    /// The timing model used by the planner.
+    pub fn timing(&self) -> &TimingModel {
+        &self.timing
+    }
+
+    /// Runs (or re-runs) the offline phase against a representative
+    /// microbatch, fixing the model-chunk placement for subsequent
+    /// iterations.
+    pub fn offline_partition(&self, representative: &BatchWorkload) -> PartitionerOutput {
+        let partitioner = ModalityAwarePartitioner::new(
+            self.spec,
+            self.parallel,
+            self.timing,
+            self.config.partitioner,
+        );
+        let output = partitioner.partition(representative);
+        *self.partition.lock() = Some(output.clone());
+        output
+    }
+
+    /// The fixed partitioner output, if the offline phase has run.
+    pub fn partition_output(&self) -> Option<PartitionerOutput> {
+        self.partition.lock().clone()
+    }
+
+    fn ensure_partition(&self, microbatches: &[BatchWorkload]) -> PartitionerOutput {
+        if let Some(p) = self.partition.lock().clone() {
+            return p;
+        }
+        // Use the heaviest microbatch of the first iteration as the
+        // representative workload.
+        let representative = microbatches
+            .iter()
+            .max_by(|a, b| {
+                a.total_tokens()
+                    .cmp(&b.total_tokens())
+            })
+            .cloned()
+            .unwrap_or_default();
+        self.offline_partition(&representative)
+    }
+
+    /// Plans one training iteration from prefetched microbatch metadata
+    /// (workflow steps ①–③ of §3.2).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`PipelineError`] from stage-graph construction.
+    pub fn plan_iteration(&self, microbatches: &[BatchWorkload]) -> Result<DipPlan, PipelineError> {
+        let start = Instant::now();
+        let partition = self.ensure_partition(microbatches);
+        let partitioner = ModalityAwarePartitioner::new(
+            self.spec,
+            self.parallel,
+            self.timing,
+            self.config.partitioner,
+        );
+        let sub_plan = partitioner.sub_microbatch_plan(&partition, microbatches);
+
+        let builder = StageGraphBuilder::new(self.spec, &partition.placement, self.cluster)
+            .with_timing(self.timing);
+        let graph = builder.build(microbatches, &sub_plan)?;
+        let budget: Vec<u64> = graph
+            .static_memory
+            .iter()
+            .map(|s| self.cluster.gpu.usable_memory().saturating_sub(*s))
+            .collect();
+        let base_queue = DualQueueConfig {
+            memory_limit: Some(budget.clone()),
+            ..DualQueueConfig::default()
+        };
+
+        // Phase ①+②: segment reordering + stage interleaving.
+        let (priorities, orders, evaluations, planned_time) = if self.config.enable_search {
+            let search_config = OrderingSearchConfig {
+                dual_queue: base_queue.clone(),
+                ..self.config.search.clone()
+            };
+            let OrderingResult {
+                segment_priorities,
+                best_time_s,
+                evaluations,
+                orders,
+                ..
+            } = search_ordering(&graph, partition.placement.segments.len(), &search_config);
+            (segment_priorities, orders, evaluations, best_time_s)
+        } else {
+            let (orders, makespan) = dual_queue::schedule(&graph, &base_queue);
+            (
+                vec![0; partition.placement.segments.len()],
+                orders,
+                1,
+                makespan,
+            )
+        };
+
+        // Phase ③: per-layer memory optimisation, then rebuild the graph with
+        // the chosen strategies and re-interleave with the same priorities.
+        let (graph, orders, memory_plan, planned_time) = if self.config.enable_memory_opt {
+            let memory_plan = optimize_memory(&graph, &orders, &budget, &self.config.memory);
+            let graph = StageGraphBuilder::new(self.spec, &partition.placement, self.cluster)
+                .with_timing(self.timing)
+                .with_memory_plan(memory_plan.clone())
+                .build(microbatches, &sub_plan)?;
+            let queue = DualQueueConfig {
+                segment_priorities: priorities.clone(),
+                ..base_queue
+            };
+            let (orders, makespan) = dual_queue::schedule(&graph, &queue);
+            (graph, orders, memory_plan, makespan)
+        } else {
+            (graph, orders, MemoryPlan::new(), planned_time)
+        };
+
+        Ok(DipPlan {
+            graph,
+            orders,
+            segment_priorities: priorities,
+            memory_plan,
+            sub_microbatches: sub_plan,
+            stats: PlannerStats {
+                planning_time: start.elapsed(),
+                search_evaluations: evaluations,
+                planned_time_s: planned_time,
+            },
+        })
+    }
+
+    /// Simulates the deployment of a plan (workflow step ④), returning the
+    /// iteration's metrics.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`PipelineError::Simulation`] if the plan is inconsistent.
+    pub fn simulate(&self, plan: &DipPlan) -> Result<ExecutionOutcome, PipelineError> {
+        execute(
+            &plan.graph,
+            &plan.orders,
+            self.cluster,
+            &self.timing,
+            &ExecutorConfig::new(self.parallel),
+        )
+    }
+
+    /// Convenience: plan and simulate one iteration.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`PipelineError`] from planning or simulation.
+    pub fn plan_and_simulate(
+        &self,
+        microbatches: &[BatchWorkload],
+    ) -> Result<(DipPlan, ExecutionOutcome), PipelineError> {
+        let plan = self.plan_iteration(microbatches)?;
+        let outcome = self.simulate(&plan)?;
+        Ok((plan, outcome))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dip_models::{zoo, Modality, ModalityWorkload};
+    use dip_pipeline::baselines::{simulate_megatron, BaselineContext};
+
+    fn vlm_batch(images: u64) -> BatchWorkload {
+        BatchWorkload::new()
+            .with(
+                Modality::Text,
+                ModalityWorkload::new(8192 - images * 169, 1),
+            )
+            .with(Modality::Image, ModalityWorkload::new(images * 169, images))
+    }
+
+    #[test]
+    fn planner_produces_a_valid_plan_and_simulation() {
+        let spec = zoo::vlm_s();
+        let cluster = ClusterSpec::h800_cluster(2);
+        let planner = DipPlanner::new(
+            &spec,
+            ParallelConfig::new(4, 4, 1),
+            &cluster,
+            PlannerConfig::fast(),
+        );
+        let batches: Vec<BatchWorkload> = [10u64, 40, 2, 30].iter().map(|&i| vlm_batch(i)).collect();
+        let (plan, outcome) = planner.plan_and_simulate(&batches).unwrap();
+        assert!(outcome.metrics.iteration_time_s > 0.0);
+        assert!(outcome.metrics.mfu > 0.0);
+        assert!(plan.stats.planning_time > Duration::ZERO);
+        assert_eq!(plan.orders.num_stages(), plan.graph.items.len());
+        assert!(planner.partition_output().is_some());
+    }
+
+    #[test]
+    fn dip_outperforms_megatron_on_dynamic_vlm_workloads() {
+        let spec = zoo::vlm_s();
+        let cluster = ClusterSpec::h800_cluster(2);
+        let parallel = ParallelConfig::new(4, 4, 1);
+        let counts = [2u64, 40, 10, 30, 0, 44, 16, 24, 4, 36, 20, 12];
+        let batches: Vec<BatchWorkload> = counts.iter().map(|&i| vlm_batch(i)).collect();
+
+        let planner = DipPlanner::new(&spec, parallel, &cluster, PlannerConfig::fast());
+        let (_, dip) = planner.plan_and_simulate(&batches).unwrap();
+
+        let ctx = BaselineContext::new(&spec, parallel, &cluster);
+        let megatron = simulate_megatron(&ctx, &batches, 1).unwrap();
+
+        assert!(
+            dip.metrics.iteration_time_s < megatron.metrics.iteration_time_s,
+            "DIP {} vs Megatron {}",
+            dip.metrics.iteration_time_s,
+            megatron.metrics.iteration_time_s
+        );
+    }
+
+    #[test]
+    fn full_dip_is_at_least_as_fast_as_no_opt() {
+        let spec = zoo::vlm_s();
+        let cluster = ClusterSpec::h800_cluster(2);
+        let parallel = ParallelConfig::new(4, 4, 1);
+        let batches: Vec<BatchWorkload> = [24u64, 8, 40, 16].iter().map(|&i| vlm_batch(i)).collect();
+
+        let full = DipPlanner::new(&spec, parallel, &cluster, PlannerConfig::fast());
+        let (_, full_outcome) = full.plan_and_simulate(&batches).unwrap();
+        let no_opt = DipPlanner::new(&spec, parallel, &cluster, PlannerConfig::no_opt());
+        let (_, no_opt_outcome) = no_opt.plan_and_simulate(&batches).unwrap();
+
+        assert!(
+            full_outcome.metrics.iteration_time_s
+                <= no_opt_outcome.metrics.iteration_time_s * 1.05,
+            "full {} vs no-opt {}",
+            full_outcome.metrics.iteration_time_s,
+            no_opt_outcome.metrics.iteration_time_s
+        );
+    }
+
+    #[test]
+    fn planner_works_for_t2v_models() {
+        let spec = zoo::t2v_s();
+        let cluster = ClusterSpec::h800_cluster(2);
+        let planner = DipPlanner::new(
+            &spec,
+            ParallelConfig::new(4, 4, 1),
+            &cluster,
+            PlannerConfig::fast(),
+        );
+        let batch = BatchWorkload::new()
+            .with(Modality::Text, ModalityWorkload::new(900, 6))
+            .with(Modality::Video, ModalityWorkload::new(16 * 1560, 4));
+        let (_, outcome) = planner.plan_and_simulate(&vec![batch; 4]).unwrap();
+        assert!(outcome.metrics.iteration_time_s > 0.0);
+    }
+
+    #[test]
+    fn peak_memory_stays_within_gpu_capacity() {
+        let spec = zoo::vlm_m();
+        let cluster = ClusterSpec::h800_cluster(4);
+        let planner = DipPlanner::new(
+            &spec,
+            ParallelConfig::new(8, 4, 1),
+            &cluster,
+            PlannerConfig::fast(),
+        );
+        let batches: Vec<BatchWorkload> = [30u64, 45, 20, 40, 10, 48].iter().map(|&i| vlm_batch(i)).collect();
+        let (_, outcome) = planner.plan_and_simulate(&batches).unwrap();
+        assert!(
+            outcome.metrics.peak_memory_bytes <= cluster.gpu.mem_capacity as i64,
+            "peak {} exceeds capacity {}",
+            outcome.metrics.peak_memory_bytes,
+            cluster.gpu.mem_capacity
+        );
+    }
+}

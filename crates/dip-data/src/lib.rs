@@ -1,0 +1,40 @@
+//! Synthetic multimodal training data for the DIP reproduction.
+//!
+//! The paper trains on a mixture of open-source datasets (OBELICS, LAION-2B,
+//! ScienceQA, ShareGPT4Video, InternVid, MMTrail-2M). This crate replaces
+//! those proprietary-scale corpora with *distribution models* fitted to the
+//! statistics the paper reports (Fig. 4a–b): tokens-per-image ratios for the
+//! image datasets and tokens-per-second ratios for the video datasets. On top
+//! of the dataset models it implements the paper's packing rules (§7.1) —
+//! greedy packing of image/text samples into 8192-token sequences with at
+//! most 48 images, and duration-bounded grouping of video clips — and a
+//! dynamic workload controller that reproduces the rise-and-fall image-count
+//! envelope of Fig. 8b.
+//!
+//! # Example
+//!
+//! ```
+//! use dip_data::{BatchGenerator, DatasetKind, DatasetMix};
+//!
+//! let mix = DatasetMix::vlm_default();
+//! let mut gen = BatchGenerator::vlm(mix, 4, 42);
+//! let batch = gen.next_batch();
+//! assert_eq!(batch.microbatches.len(), 4);
+//! assert!(batch.total_tokens() > 0);
+//! let _ = DatasetKind::Obelics;
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod datasets;
+mod dynamic;
+mod generator;
+mod packing;
+mod sample;
+
+pub use datasets::{DatasetKind, DatasetMix, DatasetModel, DatasetStats};
+pub use dynamic::{DynamicWorkloadController, ImageBoundSchedule};
+pub use generator::{BatchGenerator, TrainingBatch};
+pub use packing::{pack_t2v, pack_vlm, Microbatch, T2vPackingConfig, VlmPackingConfig};
+pub use sample::{DataSample, ImageInstance, VideoClip};

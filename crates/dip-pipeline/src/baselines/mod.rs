@@ -1,0 +1,64 @@
+//! Baseline training systems the paper compares DIP against (§7.1):
+//! Megatron-LM (1F1B / interleaved VPP), nnScaler*, Optimus coarse-grained
+//! bubble scheduling and PyTorch FSDP (ZeRO-3).
+//!
+//! Every pipeline baseline is expressed through the same machinery DIP uses —
+//! a placement, a stage graph and the dual-queue scheduler — differing only
+//! in how the model is partitioned and which scheduling priorities are used.
+//! This mirrors the paper's methodology of re-implementing the baselines'
+//! partitioning/scheduling policies inside one framework for a fair
+//! comparison.
+
+mod fsdp;
+mod megatron;
+mod nnscaler;
+mod optimus;
+
+pub use fsdp::simulate_fsdp;
+pub use megatron::simulate_megatron;
+pub use nnscaler::{nnscaler_static_plan, simulate_nnscaler};
+pub use optimus::simulate_optimus;
+
+use crate::placement::ParallelConfig;
+use dip_models::LmmSpec;
+use dip_sim::{ClusterSpec, EfficiencyModel, TimingModel};
+
+/// Shared context for simulating one training iteration of a baseline.
+#[derive(Debug, Clone)]
+pub struct BaselineContext<'a> {
+    /// The model being trained.
+    pub spec: &'a LmmSpec,
+    /// The 3D parallelism configuration.
+    pub parallel: ParallelConfig,
+    /// The simulated cluster.
+    pub cluster: &'a ClusterSpec,
+    /// The timing model (efficiency factors).
+    pub timing: TimingModel,
+}
+
+impl<'a> BaselineContext<'a> {
+    /// A context with default (calibrated) efficiency factors.
+    pub fn new(spec: &'a LmmSpec, parallel: ParallelConfig, cluster: &'a ClusterSpec) -> Self {
+        Self {
+            spec,
+            parallel,
+            cluster,
+            timing: TimingModel::new(cluster.gpu, EfficiencyModel::default()),
+        }
+    }
+
+    /// Overrides the timing model.
+    pub fn with_timing(mut self, timing: TimingModel) -> Self {
+        self.timing = timing;
+        self
+    }
+
+    /// Per-rank activation memory budget: usable GPU memory minus the static
+    /// footprint of the given per-rank static memory.
+    pub fn activation_budget(&self, static_memory: &[u64]) -> Vec<u64> {
+        static_memory
+            .iter()
+            .map(|s| self.cluster.gpu.usable_memory().saturating_sub(*s))
+            .collect()
+    }
+}

@@ -1,0 +1,552 @@
+//! The stage graph: every forward and backward stage execution of one
+//! training iteration, with data dependencies, latencies and memory effects.
+//!
+//! A stage graph is produced from a [`Placement`], the per-microbatch
+//! workload metadata and a [`SubMicrobatchPlan`] describing how each
+//! segment's microbatches are split into modality-specific sub-microbatches
+//! (§4). Schedulers (the baselines' 1F1B and DIP's dual-queue interleaver)
+//! then decide the *order* in which each rank executes its stages; the data
+//! dependencies themselves never change.
+
+use crate::placement::{ParallelConfig, PipelineError, Placement};
+use crate::strategy::{MemoryPlan, MemoryStrategy};
+use dip_models::{BatchWorkload, LmmSpec, ModalityWorkload, ModuleId, BF16_BYTES};
+use dip_sim::{ClusterSpec, StageTiming, TimingModel};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Identifier of a stage execution (a [`WorkItem`]) within a [`StageGraph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct StageId(pub usize);
+
+/// Forward or backward computation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Direction {
+    /// Forward pass.
+    Forward,
+    /// Backward pass.
+    Backward,
+}
+
+/// One stage execution: a chunk of one pipeline segment processing one
+/// sub-microbatch in one direction on one rank.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkItem {
+    /// The item's id.
+    pub id: StageId,
+    /// Index of the pipeline segment (into [`Placement::segments`]).
+    pub segment: usize,
+    /// Microbatch index.
+    pub microbatch: usize,
+    /// Sub-microbatch index within the segment's split of the microbatch.
+    pub sub_microbatch: usize,
+    /// Pipeline rank executing the stage.
+    pub rank: usize,
+    /// Forward or backward.
+    pub direction: Direction,
+    /// Execution latency in seconds (memory strategy already applied).
+    pub duration: f64,
+    /// Activation bytes held from this stage's forward until its backward.
+    pub activation_bytes: u64,
+    /// Bytes sent to the consumer stage (output activation).
+    pub p2p_bytes: u64,
+    /// Data dependencies: `(producer, communication lag in seconds)`.
+    pub deps: Vec<(StageId, f64)>,
+    /// Identifier of the (forward, backward) stage pair this item belongs to,
+    /// used to key [`MemoryPlan`] choices.
+    pub stage_pair: usize,
+}
+
+/// How many sub-microbatches each segment splits each microbatch into.
+///
+/// Baseline systems use a trivial plan (one sub-microbatch everywhere);
+/// DIP's modality-aware partitioner produces per-segment counts
+/// `M_i = ceil(N_i / B_i)` (§4). Consecutive segments of the same module must
+/// use identical counts, because the same sub-microbatches flow through them.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SubMicrobatchPlan {
+    /// `splits[segment][microbatch]` = number of sub-microbatches.
+    splits: Vec<Vec<usize>>,
+}
+
+impl SubMicrobatchPlan {
+    /// A plan with one sub-microbatch per (segment, microbatch).
+    pub fn uniform(num_segments: usize, num_microbatches: usize) -> Self {
+        Self {
+            splits: vec![vec![1; num_microbatches]; num_segments],
+        }
+    }
+
+    /// Builds a plan from an explicit table.
+    pub fn from_table(splits: Vec<Vec<usize>>) -> Self {
+        Self { splits }
+    }
+
+    /// Number of sub-microbatches for `(segment, microbatch)`; defaults to 1
+    /// outside the table.
+    pub fn splits(&self, segment: usize, microbatch: usize) -> usize {
+        self.splits
+            .get(segment)
+            .and_then(|s| s.get(microbatch))
+            .copied()
+            .unwrap_or(1)
+            .max(1)
+    }
+
+    /// Sets the number of sub-microbatches for `(segment, microbatch)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are outside the plan's table.
+    pub fn set(&mut self, segment: usize, microbatch: usize, splits: usize) {
+        self.splits[segment][microbatch] = splits.max(1);
+    }
+
+    /// Number of segments covered by the plan.
+    pub fn num_segments(&self) -> usize {
+        self.splits.len()
+    }
+}
+
+/// The stage graph of one training iteration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StageGraph {
+    /// Number of pipeline ranks.
+    pub num_ranks: usize,
+    /// Every stage execution.
+    pub items: Vec<WorkItem>,
+    /// Number of (forward, backward) stage pairs.
+    pub num_stage_pairs: usize,
+    /// Static memory (parameters, gradients, optimizer state) per rank, bytes.
+    pub static_memory: Vec<u64>,
+    /// Useful model FLOPs of the iteration (per data-parallel replica).
+    pub model_flops: f64,
+    /// Parameter bytes per rank (bf16), used for gradient all-reduce sizing.
+    pub param_bytes_per_rank: Vec<u64>,
+    /// Index: `(segment, microbatch, sub_microbatch, rank)` → (fwd, bwd) ids.
+    index: BTreeMap<(usize, usize, usize, usize), (StageId, StageId)>,
+}
+
+impl StageGraph {
+    /// The forward/backward item ids for a `(segment, microbatch,
+    /// sub_microbatch, rank)` coordinate, if present.
+    pub fn lookup(
+        &self,
+        segment: usize,
+        microbatch: usize,
+        sub_microbatch: usize,
+        rank: usize,
+    ) -> Option<(StageId, StageId)> {
+        self.index
+            .get(&(segment, microbatch, sub_microbatch, rank))
+            .copied()
+    }
+
+    /// The item with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn item(&self, id: StageId) -> &WorkItem {
+        &self.items[id.0]
+    }
+
+    /// Iterator over items on a given rank.
+    pub fn items_on_rank(&self, rank: usize) -> impl Iterator<Item = &WorkItem> {
+        self.items.iter().filter(move |i| i.rank == rank)
+    }
+
+    /// Total compute time (sum of all stage durations) per rank — a lower
+    /// bound on that rank's busy time.
+    pub fn compute_time_per_rank(&self) -> Vec<f64> {
+        let mut t = vec![0.0; self.num_ranks];
+        for item in &self.items {
+            t[item.rank] += item.duration;
+        }
+        t
+    }
+
+    /// The theoretical minimum iteration time: the busiest rank's total work.
+    pub fn critical_rank_time(&self) -> f64 {
+        self.compute_time_per_rank()
+            .into_iter()
+            .fold(0.0, f64::max)
+    }
+}
+
+/// Builder for [`StageGraph`].
+#[derive(Debug, Clone)]
+pub struct StageGraphBuilder<'a> {
+    spec: &'a LmmSpec,
+    placement: &'a Placement,
+    cluster: &'a ClusterSpec,
+    timing: TimingModel,
+    memory_plan: MemoryPlan,
+    loss_latency: f64,
+}
+
+impl<'a> StageGraphBuilder<'a> {
+    /// Creates a builder with the default (keep-everything) memory plan.
+    pub fn new(spec: &'a LmmSpec, placement: &'a Placement, cluster: &'a ClusterSpec) -> Self {
+        let timing = TimingModel::new(cluster.gpu, dip_sim::EfficiencyModel::default());
+        Self {
+            spec,
+            placement,
+            cluster,
+            timing,
+            memory_plan: MemoryPlan::new(),
+            loss_latency: 1e-3,
+        }
+    }
+
+    /// Overrides the timing model (e.g. an uncalibrated or calibrated one).
+    pub fn with_timing(mut self, timing: TimingModel) -> Self {
+        self.timing = timing;
+        self
+    }
+
+    /// Applies a memory plan (per-stage-pair strategies).
+    pub fn with_memory_plan(mut self, plan: MemoryPlan) -> Self {
+        self.memory_plan = plan;
+        self
+    }
+
+    /// Builds the stage graph for the given microbatch workloads and
+    /// sub-microbatch plan.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PipelineError::InconsistentSubMicrobatches`] if two
+    /// consecutive segments of the same module disagree on their split
+    /// counts, and [`PipelineError::InvalidConfig`] for empty inputs.
+    pub fn build(
+        &self,
+        microbatches: &[BatchWorkload],
+        plan: &SubMicrobatchPlan,
+    ) -> Result<StageGraph, PipelineError> {
+        if microbatches.is_empty() {
+            return Err(PipelineError::InvalidConfig(
+                "at least one microbatch is required".into(),
+            ));
+        }
+        let parallel = self.placement.parallel;
+        let pp = parallel.pp;
+        let segments = &self.placement.segments;
+        if segments.is_empty() {
+            return Err(PipelineError::InvalidConfig("placement has no segments".into()));
+        }
+        // Validate split consistency between consecutive same-module segments.
+        for s in 1..segments.len() {
+            if segments[s].module.is_some() && segments[s].module == segments[s - 1].module {
+                for (m, _) in microbatches.iter().enumerate() {
+                    if plan.splits(s, m) != plan.splits(s - 1, m) {
+                        return Err(PipelineError::InconsistentSubMicrobatches { segment: s });
+                    }
+                }
+            }
+        }
+
+        let same_node = self.adjacent_ranks_share_node(parallel);
+        let mut items: Vec<WorkItem> = Vec::new();
+        let mut index: BTreeMap<(usize, usize, usize, usize), (StageId, StageId)> =
+            BTreeMap::new();
+        let mut stage_pair = 0usize;
+
+        // Pre-compute per-microbatch module workloads.
+        let module_workloads: Vec<BTreeMap<ModuleId, ModalityWorkload>> = microbatches
+            .iter()
+            .map(|b| self.spec.module_workloads(b).into_iter().collect())
+            .collect();
+
+        for (s, segment) in segments.iter().enumerate() {
+            for (m, workloads) in module_workloads.iter().enumerate() {
+                let splits = if segment.module.is_some() {
+                    plan.splits(s, m)
+                } else {
+                    1
+                };
+                // Per-module workloads of each sub-microbatch of this segment.
+                let sub_workloads: Vec<BTreeMap<ModuleId, ModalityWorkload>> =
+                    split_segment_workloads(segment.modules(), workloads, splits);
+
+                for (j, sub) in sub_workloads.iter().enumerate() {
+                    for r in 0..pp {
+                        let chunk = &segment.chunks[r];
+                        let cost = chunk.cost(self.spec, sub, parallel.tp);
+                        let out_tokens = chunk
+                            .pieces
+                            .iter()
+                            .rev()
+                            .find_map(|p| sub.get(&p.module).map(|w| w.tokens))
+                            .unwrap_or(0);
+                        let p2p_bytes = out_tokens
+                            * chunk.output_dim(self.spec) as u64
+                            * BF16_BYTES;
+                        let base = self.timing.stage_timing(&cost, p2p_bytes);
+                        let strategy: MemoryStrategy = self.memory_plan.get(stage_pair);
+                        let adjusted: StageTiming = strategy.apply(&base);
+
+                        let fwd_id = StageId(items.len());
+                        let bwd_id = StageId(items.len() + 1);
+                        items.push(WorkItem {
+                            id: fwd_id,
+                            segment: s,
+                            microbatch: m,
+                            sub_microbatch: j,
+                            rank: r,
+                            direction: Direction::Forward,
+                            duration: adjusted.fwd_s,
+                            activation_bytes: adjusted.activation_bytes,
+                            p2p_bytes,
+                            deps: Vec::new(),
+                            stage_pair,
+                        });
+                        items.push(WorkItem {
+                            id: bwd_id,
+                            segment: s,
+                            microbatch: m,
+                            sub_microbatch: j,
+                            rank: r,
+                            direction: Direction::Backward,
+                            duration: adjusted.bwd_s,
+                            activation_bytes: adjusted.activation_bytes,
+                            p2p_bytes,
+                            deps: vec![(fwd_id, 0.0)],
+                            stage_pair,
+                        });
+                        index.insert((s, m, j, r), (fwd_id, bwd_id));
+                        stage_pair += 1;
+                    }
+                }
+            }
+        }
+
+        // Wire the data dependencies.
+        let p2p_lag = |bytes: u64| self.timing.p2p_latency(bytes, same_node);
+        let mut extra_deps: Vec<(StageId, StageId, f64)> = Vec::new();
+        let last_segment = segments.len() - 1;
+        for (&(s, m, j, r), &(fwd_id, bwd_id)) in &index {
+            // Forward chain within the segment.
+            if r > 0 {
+                let (prev_fwd, _) = index[&(s, m, j, r - 1)];
+                let lag = p2p_lag(items[prev_fwd.0].p2p_bytes);
+                extra_deps.push((fwd_id, prev_fwd, lag));
+            } else if s > 0 {
+                // First rank depends on the previous segment's last rank.
+                let prev_same_module =
+                    segments[s].module.is_some() && segments[s].module == segments[s - 1].module;
+                if prev_same_module {
+                    let (prev_fwd, _) = index[&(s - 1, m, j, pp - 1)];
+                    let lag = p2p_lag(items[prev_fwd.0].p2p_bytes);
+                    extra_deps.push((fwd_id, prev_fwd, lag));
+                } else {
+                    // Cross-module boundary: wait for every sub-microbatch of
+                    // the producer segment.
+                    let mut jp = 0;
+                    while let Some(&(prev_fwd, _)) = index.get(&(s - 1, m, jp, pp - 1)) {
+                        let lag = p2p_lag(items[prev_fwd.0].p2p_bytes);
+                        extra_deps.push((fwd_id, prev_fwd, lag));
+                        jp += 1;
+                    }
+                }
+            }
+
+            // Backward chain within the segment (reverse rank order).
+            if r < pp - 1 {
+                let (_, next_bwd) = index[&(s, m, j, r + 1)];
+                let lag = p2p_lag(items[fwd_id.0].p2p_bytes);
+                extra_deps.push((bwd_id, next_bwd, lag));
+            } else if s == last_segment {
+                // Loss boundary: backward of the last stage follows its own
+                // forward after the loss computation.
+                extra_deps.push((bwd_id, fwd_id, self.loss_latency));
+            } else {
+                let next_same_module =
+                    segments[s].module.is_some() && segments[s].module == segments[s + 1].module;
+                if next_same_module {
+                    let (_, next_bwd) = index[&(s + 1, m, j, 0)];
+                    let lag = p2p_lag(items[fwd_id.0].p2p_bytes);
+                    extra_deps.push((bwd_id, next_bwd, lag));
+                } else {
+                    let mut jn = 0;
+                    while let Some(&(_, next_bwd)) = index.get(&(s + 1, m, jn, 0)) {
+                        let lag = p2p_lag(items[fwd_id.0].p2p_bytes);
+                        extra_deps.push((bwd_id, next_bwd, lag));
+                        jn += 1;
+                    }
+                }
+            }
+        }
+        for (item, dep, lag) in extra_deps {
+            items[item.0].deps.push((dep, lag));
+        }
+
+        let model_flops: f64 = microbatches.iter().map(|b| self.spec.model_flops(b)).sum();
+        let static_memory = self.placement.static_memory_per_rank(self.spec);
+        let param_bytes_per_rank: Vec<u64> = {
+            let tp = parallel.tp.max(1) as u64;
+            let mut per_rank = vec![0u64; pp];
+            for seg in segments {
+                for (rank, chunk) in seg.chunks.iter().enumerate() {
+                    per_rank[rank] += chunk.param_count(self.spec) * BF16_BYTES / tp;
+                }
+            }
+            per_rank
+        };
+
+        Ok(StageGraph {
+            num_ranks: pp,
+            items,
+            num_stage_pairs: stage_pair,
+            static_memory,
+            model_flops,
+            param_bytes_per_rank,
+            index,
+        })
+    }
+
+    /// Whether pipeline-adjacent ranks live in the same node (NVLink) given
+    /// the TP group size and node size.
+    fn adjacent_ranks_share_node(&self, parallel: ParallelConfig) -> bool {
+        parallel.tp * 2 <= self.cluster.gpus_per_node
+    }
+}
+
+/// Splits each module's workload of a segment into `splits` sub-microbatches.
+fn split_segment_workloads(
+    modules: Vec<ModuleId>,
+    workloads: &BTreeMap<ModuleId, ModalityWorkload>,
+    splits: usize,
+) -> Vec<BTreeMap<ModuleId, ModalityWorkload>> {
+    let splits = splits.max(1);
+    let mut out: Vec<BTreeMap<ModuleId, ModalityWorkload>> = vec![BTreeMap::new(); splits];
+    for module in modules {
+        let wl = workloads.get(&module).copied().unwrap_or_default();
+        let pieces = wl.split(splits);
+        for (j, sub) in out.iter_mut().enumerate() {
+            let piece = pieces.get(j).copied().unwrap_or_default();
+            sub.insert(module, piece);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition::{balanced_param_placement, separated_placement};
+    use dip_models::{zoo, Modality};
+
+    fn vlm_batch() -> BatchWorkload {
+        BatchWorkload::new()
+            .with(Modality::Text, ModalityWorkload::new(6500, 1))
+            .with(Modality::Image, ModalityWorkload::new(1690, 10))
+    }
+
+    fn cluster() -> ClusterSpec {
+        ClusterSpec::h800_cluster(2)
+    }
+
+    #[test]
+    fn builds_graph_for_megatron_placement() {
+        let spec = zoo::vlm_s();
+        let parallel = ParallelConfig::new(4, 4, 1);
+        let placement = balanced_param_placement(&spec, parallel, 1);
+        let cluster = cluster();
+        let builder = StageGraphBuilder::new(&spec, &placement, &cluster);
+        let batches = vec![vlm_batch(); 4];
+        let plan = SubMicrobatchPlan::uniform(placement.segments.len(), batches.len());
+        let graph = builder.build(&batches, &plan).unwrap();
+        // 1 segment × 4 microbatches × 4 ranks × 2 directions.
+        assert_eq!(graph.items.len(), 32);
+        assert_eq!(graph.num_stage_pairs, 16);
+        assert_eq!(graph.num_ranks, 4);
+        assert!(graph.model_flops > 0.0);
+        assert!(graph.critical_rank_time() > 0.0);
+        assert!(graph.lookup(0, 0, 0, 0).is_some());
+        assert!(graph.lookup(0, 0, 1, 0).is_none());
+    }
+
+    #[test]
+    fn builds_graph_for_separated_placement_with_sub_microbatches() {
+        let spec = zoo::vlm_s();
+        let parallel = ParallelConfig::new(4, 4, 1);
+        let mut k = BTreeMap::new();
+        k.insert(spec.backbone_id().unwrap(), 2usize);
+        let placement = separated_placement(&spec, parallel, &k);
+        let cluster = cluster();
+        let builder = StageGraphBuilder::new(&spec, &placement, &cluster);
+        let batches = vec![vlm_batch(); 2];
+        let mut plan = SubMicrobatchPlan::uniform(placement.segments.len(), batches.len());
+        // Split the ViT encoder segment (index 0) into 3 sub-microbatches.
+        plan.set(0, 0, 3);
+        plan.set(0, 1, 3);
+        let graph = builder.build(&batches, &plan).unwrap();
+        // Segment 0: 3 sub-mb × 2 mb × 4 ranks × 2 = 48 items; segments 1–3:
+        // 1 sub-mb × 2 mb × 4 ranks × 2 = 16 items each.
+        assert_eq!(graph.items.len(), 48 + 3 * 16);
+        // Sub-microbatches of the encoder feed the adapter's single one.
+        let (adapter_fwd, _) = graph.lookup(1, 0, 0, 0).unwrap();
+        let deps = &graph.item(adapter_fwd).deps;
+        assert_eq!(deps.len(), 3);
+    }
+
+    #[test]
+    fn rejects_inconsistent_sub_microbatch_counts() {
+        let spec = zoo::vlm_s();
+        let parallel = ParallelConfig::new(4, 4, 1);
+        let mut k = BTreeMap::new();
+        k.insert(spec.backbone_id().unwrap(), 2usize);
+        let placement = separated_placement(&spec, parallel, &k);
+        let cluster = cluster();
+        let builder = StageGraphBuilder::new(&spec, &placement, &cluster);
+        let batches = vec![vlm_batch()];
+        let mut plan = SubMicrobatchPlan::uniform(placement.segments.len(), 1);
+        // Backbone segments are indices 2 and 3; give them different splits.
+        plan.set(2, 0, 2);
+        let err = builder.build(&batches, &plan).unwrap_err();
+        assert!(matches!(
+            err,
+            PipelineError::InconsistentSubMicrobatches { .. }
+        ));
+    }
+
+    #[test]
+    fn empty_microbatch_list_is_rejected() {
+        let spec = zoo::vlm_s();
+        let parallel = ParallelConfig::new(4, 4, 1);
+        let placement = balanced_param_placement(&spec, parallel, 1);
+        let cluster = cluster();
+        let builder = StageGraphBuilder::new(&spec, &placement, &cluster);
+        let plan = SubMicrobatchPlan::uniform(1, 0);
+        assert!(builder.build(&[], &plan).is_err());
+    }
+
+    #[test]
+    fn backward_depends_on_forward() {
+        let spec = zoo::lm_7b();
+        let parallel = ParallelConfig::new(2, 2, 1);
+        let placement = balanced_param_placement(&spec, parallel, 1);
+        let cluster = cluster();
+        let builder = StageGraphBuilder::new(&spec, &placement, &cluster);
+        let batches = vec![BatchWorkload::new()
+            .with(Modality::Text, ModalityWorkload::from_tokens(4096))];
+        let plan = SubMicrobatchPlan::uniform(1, 1);
+        let graph = builder.build(&batches, &plan).unwrap();
+        let (fwd, bwd) = graph.lookup(0, 0, 0, 1).unwrap();
+        let bwd_item = graph.item(bwd);
+        assert!(bwd_item.deps.iter().any(|(d, _)| *d == fwd));
+        assert_eq!(graph.item(fwd).direction, Direction::Forward);
+        assert_eq!(bwd_item.direction, Direction::Backward);
+    }
+
+    #[test]
+    fn sub_microbatch_plan_defaults_and_bounds() {
+        let plan = SubMicrobatchPlan::uniform(2, 3);
+        assert_eq!(plan.splits(0, 0), 1);
+        assert_eq!(plan.splits(5, 9), 1);
+        assert_eq!(plan.num_segments(), 2);
+        let table = SubMicrobatchPlan::from_table(vec![vec![4, 2]]);
+        assert_eq!(table.splits(0, 1), 2);
+    }
+}

@@ -1,0 +1,42 @@
+//! Pipeline-parallel abstractions and baseline training systems for the DIP
+//! reproduction.
+//!
+//! The crate models everything between an [`dip_models::LmmSpec`] and a
+//! simulated training iteration:
+//!
+//! * [`placement`] — model chunks, pipeline segments and their assignment to
+//!   pipeline ranks;
+//! * [`partition`] — partitioning algorithms: Megatron-style balanced
+//!   parameters, exhaustive balanced latency (the §2.3 study), and DIP's
+//!   separated modality-aware placement;
+//! * [`graph`] — the stage graph of one training iteration: every forward and
+//!   backward stage execution with its data dependencies, latencies and
+//!   memory effects;
+//! * [`strategy`] — per-stage memory-saving strategies (activation
+//!   checkpointing / offloading) and how they transform stage timing;
+//! * [`dual_queue`] — the greedy dual-queue stage interleaver (§5.2), shared
+//!   by the baselines (with fixed priorities it degenerates to 1F1B) and by
+//!   the DIP planner (which feeds it MCTS-derived segment priorities);
+//! * [`executor`] — turns a stage graph plus per-rank orders into
+//!   [`dip_sim::SimEngine`] tasks and reports iteration metrics;
+//! * [`baselines`] — end-to-end baseline systems: Megatron-LM (1F1B and
+//!   interleaved VPP), nnScaler*, Optimus coarse-grained scheduling, and an
+//!   analytical FSDP/ZeRO-3 model.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod baselines;
+pub mod dual_queue;
+pub mod executor;
+pub mod graph;
+pub mod partition;
+pub mod placement;
+pub mod strategy;
+
+pub use dual_queue::{DualQueueConfig, RankOrders};
+pub use executor::{execute, ExecutionOutcome, ExecutorConfig};
+pub use graph::{Direction, StageGraph, StageGraphBuilder, StageId, SubMicrobatchPlan, WorkItem};
+pub use partition::{balanced_latency_placement, balanced_param_placement, separated_placement};
+pub use placement::{ChunkPiece, ModelChunk, ParallelConfig, PipelineError, Placement, Segment};
+pub use strategy::{MemoryPlan, MemoryStrategy};

@@ -1,0 +1,333 @@
+//! Partitioning algorithms that map an LMM onto pipeline ranks.
+
+use crate::placement::{ChunkPiece, ModelChunk, ParallelConfig, Placement, Segment};
+use dip_models::{BatchWorkload, LmmSpec, ModuleId};
+use dip_sim::TimingModel;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A single model layer in the global (cross-module) execution order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+struct GlobalLayer {
+    module: ModuleId,
+    layer: usize,
+}
+
+fn flatten_layers(spec: &LmmSpec) -> Vec<GlobalLayer> {
+    let mut out = Vec::new();
+    for (id, module) in spec.iter() {
+        for layer in 0..module.num_layers() {
+            out.push(GlobalLayer { module: id, layer });
+        }
+    }
+    out
+}
+
+/// Converts a contiguous run of global layers into a chunk (grouping
+/// consecutive layers of the same module into pieces).
+fn chunk_from_layers(layers: &[GlobalLayer]) -> ModelChunk {
+    let mut pieces: Vec<ChunkPiece> = Vec::new();
+    for gl in layers {
+        match pieces.last_mut() {
+            Some(last) if last.module == gl.module && last.layers.end == gl.layer => {
+                last.layers.end += 1;
+            }
+            _ => pieces.push(ChunkPiece::new(gl.module, gl.layer..gl.layer + 1)),
+        }
+    }
+    ModelChunk { pieces }
+}
+
+/// Splits `weights` (one entry per global layer) into `parts` contiguous
+/// groups minimising the maximum group weight, returning the boundary
+/// indices (length `parts + 1`, starting at 0 and ending at `weights.len()`).
+/// Groups may be empty when there are fewer layers than parts.
+fn min_max_contiguous_split(weights: &[f64], parts: usize) -> Vec<usize> {
+    let n = weights.len();
+    let parts = parts.max(1);
+    if n == 0 {
+        return vec![0; parts + 1];
+    }
+    // Prefix sums.
+    let mut prefix = vec![0.0f64; n + 1];
+    for (i, w) in weights.iter().enumerate() {
+        prefix[i + 1] = prefix[i] + w;
+    }
+    let sum = |a: usize, b: usize| prefix[b] - prefix[a];
+
+    // dp[k][i] = minimal possible maximum group weight splitting the first i
+    // layers into k groups.
+    const INF: f64 = f64::INFINITY;
+    let mut dp = vec![vec![INF; n + 1]; parts + 1];
+    let mut cut = vec![vec![0usize; n + 1]; parts + 1];
+    dp[0][0] = 0.0;
+    for k in 1..=parts {
+        for i in 0..=n {
+            // Last group covers layers j..i.
+            for j in 0..=i {
+                if dp[k - 1][j] == INF {
+                    continue;
+                }
+                let candidate = dp[k - 1][j].max(sum(j, i));
+                if candidate < dp[k][i] {
+                    dp[k][i] = candidate;
+                    cut[k][i] = j;
+                }
+            }
+        }
+    }
+    // Reconstruct boundaries.
+    let mut bounds = vec![0usize; parts + 1];
+    bounds[parts] = n;
+    let mut i = n;
+    for k in (1..=parts).rev() {
+        let j = cut[k][i];
+        bounds[k - 1] = j;
+        i = j;
+    }
+    bounds
+}
+
+/// Builds a placement from global-layer chunk boundaries, arranging the
+/// chunks into `virtual_chunks` interleaved segments (Megatron VPP): chunk
+/// `c` (0-based, in layer order) is executed by rank `c % pp` as part of
+/// segment `c / pp`.
+fn placement_from_boundaries(
+    layers: &[GlobalLayer],
+    boundaries: &[usize],
+    parallel: ParallelConfig,
+    virtual_chunks: usize,
+) -> Placement {
+    let pp = parallel.pp;
+    let mut segments = Vec::with_capacity(virtual_chunks);
+    for v in 0..virtual_chunks {
+        let mut chunks = Vec::with_capacity(pp);
+        for r in 0..pp {
+            let c = v * pp + r;
+            let chunk = chunk_from_layers(&layers[boundaries[c]..boundaries[c + 1]]);
+            chunks.push(chunk);
+        }
+        // A segment is "single module" only if all its chunks touch at most
+        // one module and they agree.
+        let mut modules: Vec<ModuleId> = Vec::new();
+        for c in &chunks {
+            for m in c.modules() {
+                if !modules.contains(&m) {
+                    modules.push(m);
+                }
+            }
+        }
+        let module = if modules.len() == 1 {
+            Some(modules[0])
+        } else {
+            None
+        };
+        segments.push(Segment { chunks, module });
+    }
+    Placement { parallel, segments }
+}
+
+/// Megatron-LM's default placement: contiguous layer groups with
+/// approximately balanced *parameter counts*, optionally interleaved into
+/// `virtual_chunks` virtual-pipeline segments. Modality modules may end up
+/// co-located in the same chunk (the intra-segment imbalance of Fig. 5a).
+pub fn balanced_param_placement(
+    spec: &LmmSpec,
+    parallel: ParallelConfig,
+    virtual_chunks: usize,
+) -> Placement {
+    let layers = flatten_layers(spec);
+    let weights: Vec<f64> = layers
+        .iter()
+        .map(|gl| spec.module(gl.module).layers()[gl.layer].param_count() as f64)
+        .collect();
+    let virtual_chunks = virtual_chunks.max(1);
+    let boundaries = min_max_contiguous_split(&weights, parallel.pp * virtual_chunks);
+    placement_from_boundaries(&layers, &boundaries, parallel, virtual_chunks)
+}
+
+/// nnScaler*-style placement: contiguous layer groups balanced on
+/// *simulated stage latency* for a representative workload, found by exact
+/// dynamic programming over all contiguous splits (this is also the
+/// "exhaustive enumeration of all possible layer splits" of §2.3).
+pub fn balanced_latency_placement(
+    spec: &LmmSpec,
+    parallel: ParallelConfig,
+    virtual_chunks: usize,
+    representative: &BatchWorkload,
+    timing: &TimingModel,
+) -> Placement {
+    let layers = flatten_layers(spec);
+    let workloads: BTreeMap<ModuleId, _> = spec
+        .module_workloads(representative)
+        .into_iter()
+        .collect();
+    let weights: Vec<f64> = layers
+        .iter()
+        .map(|gl| {
+            let wl = workloads.get(&gl.module).copied().unwrap_or_default();
+            let cost = spec
+                .module(gl.module)
+                .cost_of_layers(gl.layer..gl.layer + 1, &wl, parallel.tp);
+            timing.forward_latency(&cost) + timing.backward_latency(&cost)
+        })
+        .collect();
+    let virtual_chunks = virtual_chunks.max(1);
+    let boundaries = min_max_contiguous_split(&weights, parallel.pp * virtual_chunks);
+    placement_from_boundaries(&layers, &boundaries, parallel, virtual_chunks)
+}
+
+/// DIP's separated, modality-aware placement (§4): each module is split into
+/// `pp * K_i` equal chunks forming `K_i` dedicated pipeline segments, where
+/// `K_i` is the module's entry in `segments_per_module` (modules absent from
+/// the map get one segment).
+pub fn separated_placement(
+    spec: &LmmSpec,
+    parallel: ParallelConfig,
+    segments_per_module: &BTreeMap<ModuleId, usize>,
+) -> Placement {
+    let pp = parallel.pp;
+    let mut segments = Vec::new();
+    for (id, module) in spec.iter() {
+        let k = segments_per_module.get(&id).copied().unwrap_or(1).max(1);
+        let total_chunks = pp * k;
+        let n = module.num_layers();
+        // Equal split of n layers into total_chunks contiguous groups.
+        let bounds: Vec<usize> = (0..=total_chunks)
+            .map(|c| (c * n) / total_chunks)
+            .collect();
+        for seg in 0..k {
+            let chunks: Vec<ModelChunk> = (0..pp)
+                .map(|r| {
+                    let c = seg * pp + r;
+                    ModelChunk::single(id, bounds[c]..bounds[c + 1])
+                })
+                .collect();
+            segments.push(Segment {
+                chunks,
+                module: Some(id),
+            });
+        }
+    }
+    Placement { parallel, segments }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dip_models::{zoo, Modality, ModalityWorkload};
+    use dip_sim::{EfficiencyModel, GpuGeneration, GpuSpec};
+
+    fn timing() -> TimingModel {
+        TimingModel::new(
+            GpuSpec::preset(GpuGeneration::H800),
+            EfficiencyModel::default(),
+        )
+    }
+
+    fn vlm_workload() -> BatchWorkload {
+        BatchWorkload::new()
+            .with(Modality::Text, ModalityWorkload::new(6500, 1))
+            .with(Modality::Image, ModalityWorkload::new(1690, 10))
+    }
+
+    #[test]
+    fn min_max_split_balances_uniform_weights() {
+        let weights = vec![1.0; 12];
+        let bounds = min_max_contiguous_split(&weights, 4);
+        assert_eq!(bounds, vec![0, 3, 6, 9, 12]);
+    }
+
+    #[test]
+    fn min_max_split_handles_fewer_layers_than_parts() {
+        let weights = vec![1.0, 1.0];
+        let bounds = min_max_contiguous_split(&weights, 4);
+        assert_eq!(bounds.len(), 5);
+        assert_eq!(*bounds.last().unwrap(), 2);
+        // Boundaries are non-decreasing.
+        assert!(bounds.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn balanced_param_placement_covers_model_and_balances_params() {
+        let spec = zoo::vlm_s();
+        let parallel = ParallelConfig::new(4, 4, 1);
+        let placement = balanced_param_placement(&spec, parallel, 1);
+        placement.validate(&spec).unwrap();
+        assert_eq!(placement.segments.len(), 1);
+        let params: Vec<u64> = placement.segments[0]
+            .chunks
+            .iter()
+            .map(|c| c.param_count(&spec))
+            .collect();
+        let max = *params.iter().max().unwrap() as f64;
+        let min = *params.iter().min().unwrap() as f64;
+        assert!(max / min < 2.0, "params {params:?}");
+    }
+
+    #[test]
+    fn vpp_interleaving_produces_multiple_segments() {
+        let spec = zoo::vlm_s();
+        let parallel = ParallelConfig::new(4, 4, 1);
+        let placement = balanced_param_placement(&spec, parallel, 2);
+        placement.validate(&spec).unwrap();
+        assert_eq!(placement.segments.len(), 2);
+    }
+
+    #[test]
+    fn balanced_latency_placement_is_more_balanced_in_time() {
+        let spec = zoo::vlm_s();
+        let parallel = ParallelConfig::new(4, 4, 1);
+        let wl = vlm_workload();
+        let t = timing();
+        let by_latency = balanced_latency_placement(&spec, parallel, 1, &wl, &t);
+        by_latency.validate(&spec).unwrap();
+
+        let spread = |p: &Placement| {
+            let workloads: BTreeMap<ModuleId, _> =
+                spec.module_workloads(&wl).into_iter().collect();
+            let times: Vec<f64> = p.segments[0]
+                .chunks
+                .iter()
+                .map(|c| {
+                    let cost = c.cost(&spec, &workloads, parallel.tp);
+                    t.forward_latency(&cost) + t.backward_latency(&cost)
+                })
+                .collect();
+            let max = times.iter().cloned().fold(0.0, f64::max);
+            let min = times.iter().cloned().fold(f64::INFINITY, f64::min);
+            max / min.max(1e-12)
+        };
+        let by_param = balanced_param_placement(&spec, parallel, 1);
+        assert!(spread(&by_latency) <= spread(&by_param) + 1e-9);
+    }
+
+    #[test]
+    fn separated_placement_dedicates_segments_per_module() {
+        let spec = zoo::vlm_s();
+        let parallel = ParallelConfig::new(4, 4, 1);
+        let mut k = BTreeMap::new();
+        let backbone = spec.backbone_id().unwrap();
+        k.insert(backbone, 2usize);
+        let placement = separated_placement(&spec, parallel, &k);
+        placement.validate(&spec).unwrap();
+        // ViT: 1 segment, adapter: 1, backbone: 2 → 4 segments.
+        assert_eq!(placement.segments.len(), 4);
+        assert_eq!(placement.segments_of_module(backbone).len(), 2);
+        for seg in &placement.segments {
+            assert!(seg.module.is_some());
+            assert_eq!(seg.chunks.len(), 4);
+        }
+    }
+
+    #[test]
+    fn separated_placement_handles_tiny_modules() {
+        // The 1-layer adapter cannot fill 4 ranks; empty chunks are allowed
+        // but coverage must still be exact.
+        let spec = zoo::vlm_s();
+        let parallel = ParallelConfig::new(4, 4, 1);
+        let placement = separated_placement(&spec, parallel, &BTreeMap::new());
+        placement.validate(&spec).unwrap();
+        assert_eq!(placement.total_params(&spec), spec.param_count());
+    }
+}

@@ -1,0 +1,174 @@
+//! GPU and cluster hardware specifications.
+
+use serde::{Deserialize, Serialize};
+
+/// The GPU generations used in the paper's evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum GpuGeneration {
+    /// NVIDIA H800 80 GB (main 64-GPU testbed).
+    H800,
+    /// NVIDIA H20 96 GB (16-GPU comparison cluster for Table 4).
+    H20,
+    /// NVIDIA H100 80 GB (large-scale simulation, §7.5).
+    H100,
+}
+
+/// Capabilities of a single GPU.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GpuSpec {
+    /// Peak dense bf16 throughput in FLOP/s.
+    pub peak_flops: f64,
+    /// HBM bandwidth in bytes/s.
+    pub mem_bandwidth: f64,
+    /// HBM capacity in bytes.
+    pub mem_capacity: u64,
+    /// Intra-node (NVLink) bandwidth in bytes/s per GPU.
+    pub nvlink_bandwidth: f64,
+    /// Inter-node network bandwidth in bytes/s per GPU.
+    pub net_bandwidth: f64,
+}
+
+impl GpuSpec {
+    /// Preset for a GPU generation.
+    pub fn preset(generation: GpuGeneration) -> Self {
+        match generation {
+            // H800: Hopper compute, 80 GB HBM3, 200 GB/s NVLink (paper's
+            // cluster description), 8×200 Gbps RoCE per node → 25 GB/s/GPU.
+            GpuGeneration::H800 => GpuSpec {
+                peak_flops: 989e12,
+                mem_bandwidth: 3.35e12,
+                mem_capacity: 80 * (1 << 30),
+                nvlink_bandwidth: 200e9,
+                net_bandwidth: 25e9,
+            },
+            // H20: much lower compute, higher memory capacity/bandwidth.
+            GpuGeneration::H20 => GpuSpec {
+                peak_flops: 148e12,
+                mem_bandwidth: 4.0e12,
+                mem_capacity: 96 * (1 << 30),
+                nvlink_bandwidth: 450e9,
+                net_bandwidth: 25e9,
+            },
+            // H100 SXM.
+            GpuGeneration::H100 => GpuSpec {
+                peak_flops: 989e12,
+                mem_bandwidth: 3.35e12,
+                mem_capacity: 80 * (1 << 30),
+                nvlink_bandwidth: 450e9,
+                net_bandwidth: 50e9,
+            },
+        }
+    }
+
+    /// Memory capacity usable for training after reserving space for the
+    /// framework, NCCL buffers and fragmentation.
+    pub fn usable_memory(&self) -> u64 {
+        (self.mem_capacity as f64 * 0.92) as u64
+    }
+}
+
+/// A homogeneous GPU cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ClusterSpec {
+    /// The GPU model installed in every node.
+    pub gpu: GpuSpec,
+    /// Number of nodes.
+    pub num_nodes: usize,
+    /// GPUs per node.
+    pub gpus_per_node: usize,
+    /// CPU cores per node available for the planner (§6.2: DIP may use at
+    /// most half of them).
+    pub cpu_cores_per_node: usize,
+}
+
+impl ClusterSpec {
+    /// The paper's main testbed: 8 nodes × 8 H800, 128 CPU cores per node.
+    pub fn h800_cluster(num_nodes: usize) -> Self {
+        Self {
+            gpu: GpuSpec::preset(GpuGeneration::H800),
+            num_nodes,
+            gpus_per_node: 8,
+            cpu_cores_per_node: 128,
+        }
+    }
+
+    /// The comparison testbed: 2 nodes × 8 H20.
+    pub fn h20_cluster(num_nodes: usize) -> Self {
+        Self {
+            gpu: GpuSpec::preset(GpuGeneration::H20),
+            num_nodes,
+            gpus_per_node: 8,
+            cpu_cores_per_node: 128,
+        }
+    }
+
+    /// A large-scale H100 cluster (§7.5).
+    pub fn h100_cluster(num_nodes: usize) -> Self {
+        Self {
+            gpu: GpuSpec::preset(GpuGeneration::H100),
+            num_nodes,
+            gpus_per_node: 8,
+            cpu_cores_per_node: 128,
+        }
+    }
+
+    /// Total GPUs in the cluster.
+    pub fn num_gpus(&self) -> usize {
+        self.num_nodes * self.gpus_per_node
+    }
+
+    /// Aggregate peak FLOP/s of the cluster (used for MFU).
+    pub fn peak_flops(&self) -> f64 {
+        self.gpu.peak_flops * self.num_gpus() as f64
+    }
+
+    /// CPU cores the planner is allowed to use (at most 50% of each node's
+    /// cores, §6.2).
+    pub fn planner_cores(&self) -> usize {
+        (self.cpu_cores_per_node / 2).max(1)
+    }
+
+    /// Effective bandwidth between two pipeline-adjacent GPUs, assuming the
+    /// rail-optimised placement the paper describes: adjacent pipeline ranks
+    /// of the same tensor-parallel group sit in the same node when
+    /// `ranks_per_node > 1`, otherwise traffic crosses the network.
+    pub fn p2p_bandwidth(&self, same_node: bool) -> f64 {
+        if same_node {
+            self.gpu.nvlink_bandwidth
+        } else {
+            self.gpu.net_bandwidth
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_have_sensible_orderings() {
+        let h800 = GpuSpec::preset(GpuGeneration::H800);
+        let h20 = GpuSpec::preset(GpuGeneration::H20);
+        let h100 = GpuSpec::preset(GpuGeneration::H100);
+        assert!(h800.peak_flops > h20.peak_flops);
+        assert!(h20.mem_capacity > h800.mem_capacity);
+        assert!(h100.nvlink_bandwidth >= h800.nvlink_bandwidth);
+        assert!(h800.usable_memory() < h800.mem_capacity);
+    }
+
+    #[test]
+    fn cluster_aggregates() {
+        let c = ClusterSpec::h800_cluster(8);
+        assert_eq!(c.num_gpus(), 64);
+        assert!((c.peak_flops() - 64.0 * 989e12).abs() < 1e9);
+        assert_eq!(c.planner_cores(), 64);
+        assert!(c.p2p_bandwidth(true) > c.p2p_bandwidth(false));
+    }
+
+    #[test]
+    fn h20_cluster_matches_table4_testbed() {
+        let c = ClusterSpec::h20_cluster(2);
+        assert_eq!(c.num_gpus(), 16);
+        assert_eq!(c.gpu.mem_capacity, 96 * (1 << 30));
+    }
+}

@@ -1,0 +1,39 @@
+//! Training simulator for the DIP reproduction.
+//!
+//! The paper's evaluation rests on an operator-level analytical simulator
+//! (§6.1): operator latency is estimated as
+//! `max(α_fop·N_fop/F, α_mem·N_mem/B_mem, α_net·N_net/B_net)` given device
+//! capabilities, and pipeline execution is replayed to obtain end-to-end
+//! iteration time, per-rank bubbles, memory timelines and MFU. This crate
+//! implements that simulator:
+//!
+//! * [`hardware`] — GPU and cluster specifications (H800, H20, H100 presets
+//!   matching the paper's testbeds);
+//! * [`efficiency`] — efficiency scaling factors plus a utilisation curve
+//!   that models the drop-off for very small kernels (the effect behind the
+//!   95%-of-peak sub-microbatch sizing rule, §4 / Fig. 9);
+//! * [`timing`] — converts analytical [`dip_models::LayerCost`]s into stage
+//!   latencies and memory footprints;
+//! * [`engine`] — a discrete-event executor that replays per-rank task lists
+//!   with cross-rank dependencies and produces timelines, bubble statistics
+//!   and memory traces;
+//! * [`metrics`] — MFU and throughput helpers;
+//! * [`calibration`] — fits efficiency factors against "measured" reference
+//!   executions (the pre-/post-calibration study of Fig. 13).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod calibration;
+pub mod efficiency;
+pub mod engine;
+pub mod hardware;
+pub mod metrics;
+pub mod timing;
+
+pub use calibration::{calibrate, CalibrationSample};
+pub use efficiency::EfficiencyModel;
+pub use engine::{EngineReport, RankTimeline, SimEngine, Task, TaskId, TaskKind};
+pub use hardware::{ClusterSpec, GpuGeneration, GpuSpec};
+pub use metrics::{mfu, IterationMetrics};
+pub use timing::{StageTiming, TimingModel};

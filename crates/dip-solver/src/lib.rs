@@ -1,0 +1,25 @@
+//! Optimisation substrate for the DIP reproduction.
+//!
+//! DIP's per-layer memory optimisation (§5.3 of the paper) relies on two
+//! combinatorial solvers:
+//!
+//! * a **multiple-choice knapsack** ([`mckp`]) used offline to pick the most
+//!   time-efficient memory-strategy candidate within each memory bucket, and
+//! * a small **group-choice ILP** ([`ilp`]) solved online per pipeline rank:
+//!   select exactly one candidate per stage pair, minimising total latency
+//!   subject to peak-memory constraints, with a greedy warm start, an
+//!   optimality-gap early exit and a wall-clock time limit.
+//!
+//! The same branch-and-bound engine doubles as the stand-in for the
+//! commercial solvers (Gurobi/Z3) used by the paper's monolithic-ILP
+//! baseline in Fig. 12: the monolithic formulation makes the node count
+//! explode, which is precisely the effect the figure demonstrates.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod ilp;
+pub mod mckp;
+
+pub use ilp::{Candidate, GroupChoiceProblem, SolveOptions, SolveStatus, Solution};
+pub use mckp::{MckpItem, MckpSolution, solve_mckp};
