@@ -52,7 +52,7 @@ fn bench_memory_ilp(c: &mut Criterion) {
         .map(|s| cluster.gpu.usable_memory().saturating_sub(*s) / 4)
         .collect();
     c.bench_function("per_rank_memory_ilp", |b| {
-        b.iter(|| optimize_memory(&graph, &orders, &budget, &MemoryOptConfig::default()))
+        b.iter(|| optimize_memory(&graph, &orders, &budget, &MemoryOptConfig::default()).unwrap())
     });
 }
 
@@ -61,7 +61,16 @@ fn bench_executor(c: &mut Criterion) {
     let (orders, _) = dual_queue::schedule(&graph, &DualQueueConfig::default());
     let timing = TimingModel::new(cluster.gpu, EfficiencyModel::default());
     c.bench_function("event_engine_execute", |b| {
-        b.iter(|| execute(&graph, &orders, &cluster, &timing, &ExecutorConfig::new(parallel)).unwrap())
+        b.iter(|| {
+            execute(
+                &graph,
+                &orders,
+                &cluster,
+                &timing,
+                &ExecutorConfig::new(parallel),
+            )
+            .unwrap()
+        })
     });
 }
 
@@ -72,8 +81,10 @@ fn bench_full_planner(c: &mut Criterion) {
     let mut config = PlannerConfig::fast();
     config.search.time_budget = Duration::from_millis(50);
     let planner = DipPlanner::new(&spec, parallel, &cluster, config);
-    let batches: Vec<BatchWorkload> = (0..8).map(|i| vlm_batch([8u64, 40, 2, 24][i % 4])).collect();
-    planner.offline_partition(&vlm_batch(24));
+    let batches: Vec<BatchWorkload> = (0..8)
+        .map(|i| vlm_batch([8u64, 40, 2, 24][i % 4]))
+        .collect();
+    planner.offline_partition(&vlm_batch(24)).unwrap();
     c.bench_function("dip_plan_iteration_50ms_budget", |b| {
         b.iter(|| planner.plan_iteration(&batches).unwrap())
     });

@@ -50,7 +50,13 @@ fn main() {
 
     print_table(
         "Fig. 10 — memory behaviour of the first pipeline rank (VLM-M)",
-        &["System", "Peak GB", "Static GB", "Activation swing GB", "Timeline samples"],
+        &[
+            "System",
+            "Peak GB",
+            "Static GB",
+            "Activation swing GB",
+            "Timeline samples",
+        ],
         &rows,
     );
     println!("Expected shape (paper): Optimus accumulates the most (encoder activations of all microbatches); DIP keeps usage low and steady.");

@@ -51,8 +51,8 @@ fn main() {
             predicted_s: sim,
             measured_s: real,
         });
-        let mfu_real = total_model_flops * parallel.dp as f64
-            / (real * cluster.gpu.peak_flops * 64.0);
+        let mfu_real =
+            total_model_flops * parallel.dp as f64 / (real * cluster.gpu.peak_flops * 64.0);
         if best.is_none() || mfu_real > best.unwrap().1 {
             best = Some((*parallel, mfu_real));
         }
@@ -78,7 +78,13 @@ fn main() {
 
     print_table(
         "Fig. 13 — per-configuration iteration time, simulated vs. reference (VLM-M, 64 GPUs)",
-        &["Parallelism", "Reference (s)", "Uncalibrated sim (s)", "Relative error", "Reference MFU"],
+        &[
+            "Parallelism",
+            "Reference (s)",
+            "Uncalibrated sim (s)",
+            "Relative error",
+            "Reference MFU",
+        ],
         &rows,
     );
     println!(

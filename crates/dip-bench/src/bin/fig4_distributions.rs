@@ -15,9 +15,16 @@ fn main() {
         let stats = DatasetStats::from_samples(&samples);
         rows.push(vec![
             kind.name().to_string(),
-            if kind.is_video() { "video".into() } else { "image".into() },
+            if kind.is_video() {
+                "video".into()
+            } else {
+                "image".into()
+            },
             format!("{:.1}", stats.mean_tokens_per_image),
-            format!("{:.1} / {:.1}", stats.tokens_per_image_range.0, stats.tokens_per_image_range.1),
+            format!(
+                "{:.1} / {:.1}",
+                stats.tokens_per_image_range.0, stats.tokens_per_image_range.1
+            ),
             format!("{:.1}", stats.mean_tokens_per_second),
             format!("{:.2}", stats.mean_images_per_sample),
         ]);

@@ -11,7 +11,9 @@ fn flops_split(spec: &dip_models::LmmSpec, batch: &dip_models::BatchWorkload) ->
     for (id, wl) in spec.module_workloads(batch) {
         let module = spec.module(id);
         let flops = module.cost(&wl, 1).total_flops();
-        let is_lm = module.name().contains("llama") || module.name().contains("qwen") || module.name().contains("lm");
+        let is_lm = module.name().contains("llama")
+            || module.name().contains("qwen")
+            || module.name().contains("lm");
         if is_lm {
             backbone_or_lm += flops;
         } else {
@@ -45,7 +47,10 @@ fn main() {
         rows.push(vec![
             name.to_string(),
             format!("{:.1}", tflops(min)),
-            format!("{:.1}", tflops(totals[totals.len() / 2].0 + totals[totals.len() / 2].1)),
+            format!(
+                "{:.1}",
+                tflops(totals[totals.len() / 2].0 + totals[totals.len() / 2].1)
+            ),
             format!("{:.1}", tflops(max)),
             format!("{:.2}x", max / min.max(1e-9)),
             format!(

@@ -27,10 +27,7 @@ fn main() {
             };
             let results = run_all_systems(&setup.model, parallel, &cluster, &batches, &scale);
             if sums.is_empty() {
-                sums = results
-                    .iter()
-                    .map(|r| (r.system.clone(), 0.0))
-                    .collect();
+                sums = results.iter().map(|r| (r.system.clone(), 0.0)).collect();
             }
             for (i, r) in results.iter().enumerate() {
                 sums[i].1 += r.metrics.iteration_time_s;

@@ -1,9 +1,17 @@
-//! Fig. 8b: per-iteration latency timeline of 40 iterations under the
-//! rise-and-fall image-count envelope, for Megatron-LM, nnScaler*, Optimus,
-//! DIP (no-opt) and DIP.
+//! Fig. 8b: per-iteration latency timeline under the rise-and-fall
+//! image-count envelope, for Megatron-LM, nnScaler*, Optimus, DIP (no-opt)
+//! and DIP.
+//!
+//! The 40-iteration envelope is two passes over the same 20-iteration
+//! pattern. We record the first pass and replay it, so the second pass
+//! repeats the workload signatures of the first — exactly the repetition
+//! DIP's planning-session cache exploits: pass 2 is served from the plan
+//! cache with identical simulated iteration times and (near-)zero planning
+//! cost. The session statistics printed at the end make the saving
+//! observable.
 
 use dip_bench::{fmt_s, print_table, ExperimentScale};
-use dip_core::{DipPlanner, PlannerConfig};
+use dip_core::{PlanRequest, PlannerConfig, PlanningSession, SessionStats};
 use dip_data::{BatchGenerator, DatasetMix, DynamicWorkloadController, ImageBoundSchedule};
 use dip_models::zoo;
 use dip_pipeline::baselines::{
@@ -12,6 +20,21 @@ use dip_pipeline::baselines::{
 use dip_pipeline::ParallelConfig;
 use dip_sim::ClusterSpec;
 
+fn print_session_stats(name: &str, stats: &SessionStats) {
+    println!(
+        "{name:<12} planning: {} plans | cache {} hits / {} misses (hit rate {:.0}%) | \
+         total {:.0} ms = partition {:.0} ms + search {:.0} ms + memopt {:.0} ms",
+        stats.requests,
+        stats.cache_hits,
+        stats.cache_misses,
+        stats.hit_rate() * 100.0,
+        stats.planning_time.as_secs_f64() * 1e3,
+        stats.partition_time.as_secs_f64() * 1e3,
+        stats.search_time.as_secs_f64() * 1e3,
+        stats.memopt_time.as_secs_f64() * 1e3,
+    );
+}
+
 fn main() {
     let scale = ExperimentScale::from_env();
     let spec = zoo::vlm_s();
@@ -19,39 +42,71 @@ fn main() {
     let parallel = ParallelConfig::new(4, 4, 1);
     let ctx = BaselineContext::new(&spec, parallel, &cluster);
 
+    // Record one 20-iteration rise-and-fall pattern, then replay it twice:
+    // the second pass revisits the exact workload shapes of the first.
     let generator = BatchGenerator::vlm(DatasetMix::vlm_default(), scale.microbatches, 8);
-    let mut controller = DynamicWorkloadController::new(generator, ImageBoundSchedule::fig8b());
+    let mut controller = DynamicWorkloadController::new(
+        generator,
+        ImageBoundSchedule::new(ImageBoundSchedule::fig8b().iter().take(20).collect()),
+    );
+    let trace = controller.collect_trace();
 
     let representative = dip_bench::vlm_batch(12);
     let static_plan = nnscaler_static_plan(&ctx, &representative, 1);
-    let dip = DipPlanner::new(&spec, parallel, &cluster, scale.planner_config());
-    dip.offline_partition(&representative);
-    let dip_no_opt = DipPlanner::new(&spec, parallel, &cluster, PlannerConfig::no_opt());
-    dip_no_opt.offline_partition(&representative);
+    let mut dip = PlanningSession::new(&spec, parallel, &cluster, scale.planner_config());
+    dip.offline_partition(&representative)
+        .expect("offline partitioning");
+    let mut dip_no_opt = PlanningSession::new(&spec, parallel, &cluster, PlannerConfig::no_opt());
+    dip_no_opt
+        .offline_partition(&representative)
+        .expect("offline partitioning");
 
     let mut rows = Vec::new();
-    while let Some(iteration) = controller.next_iteration() {
-        let batches = iteration.batch.workloads();
+    for iteration in trace.replay(2) {
+        let request = PlanRequest::new(iteration.batch.workloads());
         let avg_images = iteration.batch.avg_images_per_microbatch();
-        let megatron = simulate_megatron(&ctx, &batches, 1).unwrap().metrics;
-        let nnscaler = simulate_nnscaler(&ctx, &static_plan, &batches).unwrap().metrics;
-        let optimus = simulate_optimus(&ctx, &batches).unwrap().metrics;
-        let no_opt = dip_no_opt.plan_and_simulate(&batches).unwrap().1.metrics;
-        let full = dip.plan_and_simulate(&batches).unwrap().1.metrics;
+        let batches = request.microbatches();
+        let megatron = simulate_megatron(&ctx, batches, 1).unwrap().metrics;
+        let nnscaler = simulate_nnscaler(&ctx, &static_plan, batches)
+            .unwrap()
+            .metrics;
+        let optimus = simulate_optimus(&ctx, batches).unwrap().metrics;
+        let (no_opt_plan, no_opt) = dip_no_opt.plan_and_simulate(&request).unwrap();
+        let (full_plan, full) = dip.plan_and_simulate(&request).unwrap();
         rows.push(vec![
             iteration.iteration.to_string(),
             format!("{avg_images:.1}"),
             fmt_s(megatron.iteration_time_s),
             fmt_s(nnscaler.iteration_time_s),
             fmt_s(optimus.iteration_time_s),
-            fmt_s(no_opt.iteration_time_s),
-            fmt_s(full.iteration_time_s),
+            fmt_s(no_opt.metrics.iteration_time_s),
+            fmt_s(full.metrics.iteration_time_s),
+            format!(
+                "{:.1}{}",
+                full_plan.plan.stats.planning_time.as_secs_f64() * 1e3,
+                if full_plan.cache_hit { " (cached)" } else { "" }
+            ),
+            if no_opt_plan.cache_hit { "hit" } else { "miss" }.to_string(),
         ]);
     }
     print_table(
         "Fig. 8b — iteration-time timeline under the rise-and-fall image envelope",
-        &["Iter", "Avg #images", "Megatron-LM", "nnScaler*", "Optimus", "DIP (no-opt)", "DIP"],
+        &[
+            "Iter",
+            "Avg #images",
+            "Megatron-LM",
+            "nnScaler*",
+            "Optimus",
+            "DIP (no-opt)",
+            "DIP",
+            "DIP plan (ms)",
+            "no-opt cache",
+        ],
         &rows,
     );
+    print_session_stats("DIP", &dip.stats());
+    print_session_stats("DIP (no-opt)", &dip_no_opt.stats());
+    println!();
     println!("Expected shape (paper): DIP lowest throughout; Megatron-LM degrades most when image counts peak; nnScaler* degrades when they vanish.");
+    println!("Expected shape (session layer): pass 2 (iterations 20+) hits the plan cache — identical iteration times at (near-)zero planning cost.");
 }

@@ -17,9 +17,12 @@ fn main() {
     let timing = TimingModel::new(cluster.gpu, EfficiencyModel::default());
     let batches = vlm_batches_from_datasets(scale.microbatches, 55);
 
-    let partitioner = ModalityAwarePartitioner::new(&spec, parallel, timing, PartitionerConfig::default());
+    let partitioner =
+        ModalityAwarePartitioner::new(&spec, parallel, timing, PartitionerConfig::default());
     let representative = dip_bench::vlm_batch(24);
-    let output = partitioner.partition(&representative);
+    let output = partitioner
+        .partition(&representative)
+        .expect("offline partitioning");
     let (encoder_id, _) = spec.encoders().next().unwrap();
     let encoder_segments = output.placement.segments_of_module(encoder_id);
 
@@ -52,7 +55,14 @@ fn main() {
                 ..DualQueueConfig::default()
             };
             let (orders, _) = dual_queue::schedule(&graph, &config);
-            let outcome = execute(&graph, &orders, &cluster, &timing, &ExecutorConfig::new(parallel)).unwrap();
+            let outcome = execute(
+                &graph,
+                &orders,
+                &cluster,
+                &timing,
+                &ExecutorConfig::new(parallel),
+            )
+            .unwrap();
             best = best.min(outcome.metrics.iteration_time_s);
             worst = worst.max(outcome.metrics.iteration_time_s);
         }
@@ -65,7 +75,12 @@ fn main() {
     }
     print_table(
         "Fig. 9 — impact of the image-encoder sub-microbatch size (VLM-S)",
-        &["Sub-microbatch size (images)", "Best iter. time (s)", "Worst iter. time (s)", "Best-worst gap"],
+        &[
+            "Sub-microbatch size (images)",
+            "Best iter. time (s)",
+            "Worst iter. time (s)",
+            "Best-worst gap",
+        ],
         &rows,
     );
     println!("Expected shape (paper): small sizes shrink the best/worst gap; very small sizes lose GPU efficiency; optimum near 12.");

@@ -25,7 +25,9 @@ fn main() {
     let static_run = simulate_nnscaler(&ctx, &placement, &static_batches).unwrap();
 
     let counts = [1u64, 40, 8, 30, 2, 48, 16, 24];
-    let dynamic_batches: Vec<_> = (0..n).map(|i| vlm_batch(counts[i % counts.len()])).collect();
+    let dynamic_batches: Vec<_> = (0..n)
+        .map(|i| vlm_batch(counts[i % counts.len()]))
+        .collect();
     let dynamic_run = simulate_nnscaler(&ctx, &placement, &dynamic_batches).unwrap();
 
     print_table(
@@ -44,9 +46,8 @@ fn main() {
             ],
         ],
     );
-    let overhead = (dynamic_run.metrics.iteration_time_s / static_run.metrics.iteration_time_s
-        - 1.0)
-        * 100.0;
+    let overhead =
+        (dynamic_run.metrics.iteration_time_s / static_run.metrics.iteration_time_s - 1.0) * 100.0;
     println!("Dynamic-data overhead over the static optimum: {overhead:.1}% (paper: up to 40.3%).");
     println!("Static bubble fraction (paper: 22.8% extra bubbles even at the optimal split).");
 }

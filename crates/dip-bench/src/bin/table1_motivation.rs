@@ -45,7 +45,9 @@ fn main() {
 
     // Dynamic data: image counts swing between microbatches.
     let counts = [0u64, 40, 4, 32, 2, 48, 12, 24];
-    let dynamic: Vec<BatchWorkload> = (0..n).map(|i| vlm_batch(counts[i % counts.len()])).collect();
+    let dynamic: Vec<BatchWorkload> = (0..n)
+        .map(|i| vlm_batch(counts[i % counts.len()]))
+        .collect();
     let out = simulate_megatron(&ctx, &dynamic, 1).unwrap();
     rows.push(vec![
         "ViT 2B + LM 5B (dynamic data)".to_string(),

@@ -22,9 +22,21 @@ fn main() {
     let dip = planner.plan_and_simulate(&batches).unwrap().1.metrics;
 
     let rows = vec![
-        vec!["FSDP".into(), fmt_s(fsdp.iteration_time_s), fmt_ratio(fsdp.iteration_time_s / megatron.iteration_time_s)],
-        vec!["Megatron-LM".into(), fmt_s(megatron.iteration_time_s), "1.000".into()],
-        vec!["DIP".into(), fmt_s(dip.iteration_time_s), fmt_ratio(dip.iteration_time_s / megatron.iteration_time_s)],
+        vec![
+            "FSDP".into(),
+            fmt_s(fsdp.iteration_time_s),
+            fmt_ratio(fsdp.iteration_time_s / megatron.iteration_time_s),
+        ],
+        vec![
+            "Megatron-LM".into(),
+            fmt_s(megatron.iteration_time_s),
+            "1.000".into(),
+        ],
+        vec![
+            "DIP".into(),
+            fmt_s(dip.iteration_time_s),
+            fmt_ratio(dip.iteration_time_s / megatron.iteration_time_s),
+        ],
     ];
     print_table(
         "Table 4 — VLM-S on 16 H20 GPUs",

@@ -10,7 +10,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
-use dip_core::{DipPlanner, PlannerConfig};
+use dip_core::{PlanRequest, PlannerConfig, PlanningSession};
 use dip_data::{BatchGenerator, DatasetMix};
 use dip_models::{BatchWorkload, LmmSpec, Modality, ModalityWorkload};
 use dip_pipeline::baselines::{
@@ -134,8 +134,8 @@ pub fn run_all_systems(
             metrics: outcome.metrics,
         });
     }
-    let planner = DipPlanner::new(spec, parallel, cluster, scale.planner_config());
-    if let Ok((_, outcome)) = planner.plan_and_simulate(batches) {
+    let mut session = PlanningSession::new(spec, parallel, cluster, scale.planner_config());
+    if let Ok((_, outcome)) = session.plan_and_simulate(&PlanRequest::new(batches.to_vec())) {
         results.push(SystemResult {
             system: "DIP".into(),
             metrics: outcome.metrics,

@@ -1,0 +1,183 @@
+//! The unified error type of the DIP planner stack.
+//!
+//! Every public planner entry point — the partitioner, the ordering search,
+//! the memory optimiser, [`crate::DipPlanner`] and the
+//! [`crate::PlanningSession`] layer — reports failures as a [`DipError`],
+//! which wraps the lower-level [`ModelError`] / [`PipelineError`] / solver
+//! failures together with a human-readable context describing which planning
+//! phase failed.
+
+use dip_models::ModelError;
+use dip_pipeline::PipelineError;
+use std::error::Error;
+use std::fmt;
+
+/// Unified error of the planning stack.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum DipError {
+    /// A model-specification error surfaced during planning.
+    Model {
+        /// Which planning phase hit the error.
+        context: String,
+        /// The underlying model error.
+        source: ModelError,
+    },
+    /// A pipeline/placement/simulation error surfaced during planning.
+    Pipeline {
+        /// Which planning phase hit the error.
+        context: String,
+        /// The underlying pipeline error.
+        source: PipelineError,
+    },
+    /// A combinatorial-solver failure (infeasible or misconfigured problem).
+    Solver {
+        /// Which planning phase hit the error.
+        context: String,
+        /// Description of the solver failure.
+        message: String,
+    },
+    /// The plan request itself was invalid (empty workloads, impossible
+    /// configuration, ...).
+    InvalidRequest(String),
+}
+
+impl DipError {
+    /// Wraps a [`ModelError`] with planning context.
+    pub fn model(context: impl Into<String>, source: ModelError) -> Self {
+        DipError::Model {
+            context: context.into(),
+            source,
+        }
+    }
+
+    /// Wraps a [`PipelineError`] with planning context.
+    pub fn pipeline(context: impl Into<String>, source: PipelineError) -> Self {
+        DipError::Pipeline {
+            context: context.into(),
+            source,
+        }
+    }
+
+    /// A solver failure with planning context.
+    pub fn solver(context: impl Into<String>, message: impl Into<String>) -> Self {
+        DipError::Solver {
+            context: context.into(),
+            message: message.into(),
+        }
+    }
+
+    /// An invalid plan request.
+    pub fn invalid_request(message: impl Into<String>) -> Self {
+        DipError::InvalidRequest(message.into())
+    }
+
+    /// The planning phase the error is attributed to, if any.
+    pub fn context(&self) -> Option<&str> {
+        match self {
+            DipError::Model { context, .. }
+            | DipError::Pipeline { context, .. }
+            | DipError::Solver { context, .. } => Some(context),
+            DipError::InvalidRequest(_) => None,
+        }
+    }
+}
+
+impl fmt::Display for DipError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DipError::Model { context, source } => {
+                write!(f, "{context}: model error: {source}")
+            }
+            DipError::Pipeline { context, source } => {
+                write!(f, "{context}: pipeline error: {source}")
+            }
+            DipError::Solver { context, message } => {
+                write!(f, "{context}: solver error: {message}")
+            }
+            DipError::InvalidRequest(message) => write!(f, "invalid plan request: {message}"),
+        }
+    }
+}
+
+impl Error for DipError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            DipError::Model { source, .. } => Some(source),
+            DipError::Pipeline { source, .. } => Some(source),
+            DipError::Solver { .. } | DipError::InvalidRequest(_) => None,
+        }
+    }
+}
+
+impl From<ModelError> for DipError {
+    fn from(source: ModelError) -> Self {
+        DipError::model("planning", source)
+    }
+}
+
+impl From<PipelineError> for DipError {
+    fn from(source: PipelineError) -> Self {
+        DipError::pipeline("planning", source)
+    }
+}
+
+/// Extension adding planning context to lower-level `Result`s.
+pub(crate) trait ResultExt<T> {
+    /// Wraps the error into a [`DipError`] with `context`.
+    fn planning_context(self, context: &str) -> Result<T, DipError>;
+}
+
+impl<T> ResultExt<T> for Result<T, PipelineError> {
+    fn planning_context(self, context: &str) -> Result<T, DipError> {
+        self.map_err(|e| DipError::pipeline(context, e))
+    }
+}
+
+impl<T> ResultExt<T> for Result<T, ModelError> {
+    fn planning_context(self, context: &str) -> Result<T, DipError> {
+        self.map_err(|e| DipError::model(context, e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_context_and_source() {
+        let err = DipError::pipeline(
+            "building stage graph",
+            PipelineError::Simulation("deadlock".into()),
+        );
+        let text = err.to_string();
+        assert!(text.contains("building stage graph"), "{text}");
+        assert!(text.contains("deadlock"), "{text}");
+        assert_eq!(err.context(), Some("building stage graph"));
+    }
+
+    #[test]
+    fn source_chain_reaches_the_wrapped_error() {
+        let err = DipError::model("offline partitioning", ModelError::EmptySpec);
+        let source = err.source().expect("wrapped source");
+        assert_eq!(source.to_string(), ModelError::EmptySpec.to_string());
+        assert!(DipError::invalid_request("no microbatches")
+            .source()
+            .is_none());
+    }
+
+    #[test]
+    fn from_impls_attach_a_default_context() {
+        let err: DipError = PipelineError::InvalidConfig("bad".into()).into();
+        assert_eq!(err.context(), Some("planning"));
+        let err: DipError = ModelError::MultipleBackbones.into();
+        assert!(matches!(err, DipError::Model { .. }));
+    }
+
+    #[test]
+    fn solver_errors_format_without_a_source() {
+        let err = DipError::solver("memory optimisation", "empty candidate ladder");
+        assert!(err.to_string().contains("empty candidate ladder"));
+        assert!(err.source().is_none());
+    }
+}

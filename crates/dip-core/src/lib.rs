@@ -17,42 +17,63 @@
 //! * [`planner`] — the online planning loop (§3.2): prefetch metadata,
 //!   partition microbatches, search a schedule (in parallel on CPU workers),
 //!   optimise memory and deploy the plan, per training iteration;
+//! * [`session`] — the planning-session layer: plan requests keyed by
+//!   canonical workload signatures, an LRU plan cache serving repeated
+//!   shapes without re-planning, and warm-started search across iterations;
+//! * [`error`] — the unified [`DipError`] returned by every public planner
+//!   entry point;
 //! * [`monolithic`] — the monolithic-ILP baseline of §5.4 / Fig. 12, solved
 //!   exactly by branch and bound in place of Gurobi/Z3.
 //!
 //! # Example
 //!
+//! Multi-iteration planning goes through a [`PlanningSession`], which caches
+//! plans for repeated workload shapes and warm-starts the schedule search
+//! otherwise:
+//!
 //! ```
-//! use dip_core::{DipPlanner, PlannerConfig};
+//! use dip_core::{PlanRequest, PlanningSession, PlannerConfig};
 //! use dip_models::{zoo, BatchWorkload, Modality, ModalityWorkload};
 //! use dip_pipeline::ParallelConfig;
 //! use dip_sim::ClusterSpec;
 //!
 //! let spec = zoo::vlm_s();
 //! let cluster = ClusterSpec::h800_cluster(2);
-//! let planner = DipPlanner::new(&spec, ParallelConfig::new(4, 4, 1), &cluster,
-//!                               PlannerConfig::fast());
+//! let mut session = PlanningSession::new(&spec, ParallelConfig::new(4, 4, 1), &cluster,
+//!                                        PlannerConfig::fast());
 //! let batch = BatchWorkload::new()
 //!     .with(Modality::Text, ModalityWorkload::new(6502, 1))
 //!     .with(Modality::Image, ModalityWorkload::new(1690, 10));
-//! let plan = planner.plan_iteration(&[batch]).unwrap();
-//! let outcome = planner.simulate(&plan).unwrap();
-//! assert!(outcome.metrics.iteration_time_s > 0.0);
+//! let request = PlanRequest::new(vec![batch]);
+//! let (outcome, execution) = session.plan_and_simulate(&request).unwrap();
+//! assert!(execution.metrics.iteration_time_s > 0.0);
+//! // A second iteration with the same shape is served from the plan cache.
+//! let (repeat, _) = session.plan_and_simulate(&request).unwrap();
+//! assert!(repeat.cache_hit && !outcome.cache_hit);
 //! ```
+//!
+//! Single-shot planning remains available through [`DipPlanner`].
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod error;
 pub mod memopt;
 pub mod monolithic;
 pub mod ordering;
 pub mod partitioner;
 pub mod planner;
+pub mod session;
 
+pub use error::DipError;
 pub use memopt::{optimize_memory, MemoryOptConfig};
 pub use monolithic::{monolithic_ilp_search, MonolithicResult};
 pub use ordering::{
-    search_ordering, OrderingResult, OrderingSearchConfig, SearchProgressPoint, SearchStrategy,
+    ordering_from_priorities, search_ordering, OrderingResult, OrderingSearchConfig,
+    SearchProgressPoint, SearchStrategy,
 };
 pub use partitioner::{ModalityAwarePartitioner, PartitionerConfig, PartitionerOutput};
 pub use planner::{DipPlan, DipPlanner, PlannerConfig, PlannerStats};
+pub use session::{
+    PlanOutcome, PlanRequest, PlanningSession, SessionConfig, SessionStats, WorkloadSignature,
+};

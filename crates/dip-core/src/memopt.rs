@@ -8,6 +8,7 @@
 //! a group-choice ILP solved with a greedy warm start and a 5% optimality
 //! gap, exactly as the paper describes.
 
+use crate::error::DipError;
 use dip_pipeline::{Direction, MemoryPlan, MemoryStrategy, RankOrders, StageGraph};
 use dip_sim::StageTiming;
 use dip_solver::{Candidate, GroupChoiceProblem, SolveOptions};
@@ -43,12 +44,24 @@ impl Default for MemoryOptConfig {
 /// memory minus the static parameter/optimizer footprint). Ranks whose
 /// budget cannot be met even by the most aggressive strategy fall back to
 /// applying that strategy uniformly.
+///
+/// # Errors
+///
+/// Returns [`DipError::Solver`] when the configuration admits no candidate
+/// strategies (`candidates_per_pair == 0`), leaving the group-choice ILP
+/// without a feasible selection.
 pub fn optimize_memory(
     graph: &StageGraph,
     orders: &RankOrders,
     capacity_per_rank: &[u64],
     config: &MemoryOptConfig,
-) -> MemoryPlan {
+) -> Result<MemoryPlan, DipError> {
+    if config.candidates_per_pair == 0 {
+        return Err(DipError::solver(
+            "memory optimisation",
+            "candidates_per_pair is 0: the group-choice ILP has no candidates to select from",
+        ));
+    }
     let ladder = MemoryStrategy::ladder(config.candidates_per_pair);
     let mut plan = MemoryPlan::new();
 
@@ -64,8 +77,9 @@ pub fn optimize_memory(
             fwd_pos: usize,
             bwd_pos: usize,
         }
-        let mut pairs: BTreeMap<usize, (Option<usize>, Option<usize>, Option<StageTiming>)> =
-            BTreeMap::new();
+        // (forward position, backward position, accumulated base timing).
+        type PendingPair = (Option<usize>, Option<usize>, Option<StageTiming>);
+        let mut pairs: BTreeMap<usize, PendingPair> = BTreeMap::new();
         for (pos, id) in order.iter().enumerate() {
             let item = graph.item(*id);
             let entry = pairs.entry(item.stage_pair).or_insert((None, None, None));
@@ -154,7 +168,7 @@ pub fn optimize_memory(
         }
     }
 
-    plan
+    Ok(plan)
 }
 
 /// Estimated activation peak of one rank's order under a memory plan, using
@@ -227,7 +241,8 @@ mod tests {
             &orders,
             &vec![u64::MAX / 2; graph.num_ranks],
             &MemoryOptConfig::default(),
-        );
+        )
+        .unwrap();
         for rank in 0..graph.num_ranks {
             for id in &orders.orders[rank] {
                 let item = graph.item(*id);
@@ -247,14 +262,16 @@ mod tests {
             .map(|o| estimated_peak_activation(&graph, o, &none_plan))
             .collect();
         let budget: Vec<u64> = unconstrained.iter().map(|p| p / 4 + 1).collect();
-        let plan = optimize_memory(&graph, &orders, &budget, &MemoryOptConfig::default());
+        let plan = optimize_memory(&graph, &orders, &budget, &MemoryOptConfig::default()).unwrap();
         assert!(!plan.is_empty());
         // The optimised plan must respect the budget (by the optimiser's own
         // accounting) on every rank where a feasible choice exists.
         for (rank, order) in orders.orders.iter().enumerate() {
             let peak = estimated_peak_activation(&graph, order, &plan);
-            let most_aggressive_plan =
-                MemoryPlan::uniform(graph.num_stage_pairs, *MemoryStrategy::ladder(10).last().unwrap());
+            let most_aggressive_plan = MemoryPlan::uniform(
+                graph.num_stage_pairs,
+                *MemoryStrategy::ladder(10).last().unwrap(),
+            );
             let floor = estimated_peak_activation(&graph, order, &most_aggressive_plan);
             assert!(
                 peak <= budget[rank].max(floor),
@@ -301,15 +318,41 @@ mod tests {
         };
         let loose_budget: Vec<u64> = unconstrained.iter().map(|p| p * 2).collect();
         let tight_budget: Vec<u64> = unconstrained.iter().map(|p| p / 3 + 1).collect();
-        let loose = optimize_memory(&graph, &orders, &loose_budget, &MemoryOptConfig::default());
-        let tight = optimize_memory(&graph, &orders, &tight_budget, &MemoryOptConfig::default());
+        let loose =
+            optimize_memory(&graph, &orders, &loose_budget, &MemoryOptConfig::default()).unwrap();
+        let tight =
+            optimize_memory(&graph, &orders, &tight_budget, &MemoryOptConfig::default()).unwrap();
         assert!(total_latency(&tight) >= total_latency(&loose) - 1e-9);
+    }
+
+    #[test]
+    fn zero_candidates_is_a_solver_error() {
+        let (graph, orders) = graph_and_orders(2);
+        let config = MemoryOptConfig {
+            candidates_per_pair: 0,
+            ..MemoryOptConfig::default()
+        };
+        let err = optimize_memory(
+            &graph,
+            &orders,
+            &vec![u64::MAX / 2; graph.num_ranks],
+            &config,
+        )
+        .unwrap_err();
+        assert!(matches!(err, crate::DipError::Solver { .. }));
+        assert!(err.to_string().contains("candidates_per_pair"));
     }
 
     #[test]
     fn impossible_budget_falls_back_to_most_aggressive_strategy() {
         let (graph, orders) = graph_and_orders(4);
-        let plan = optimize_memory(&graph, &orders, &vec![1; graph.num_ranks], &MemoryOptConfig::default());
+        let plan = optimize_memory(
+            &graph,
+            &orders,
+            &vec![1; graph.num_ranks],
+            &MemoryOptConfig::default(),
+        )
+        .unwrap();
         let most_aggressive = *MemoryStrategy::ladder(10).last().unwrap();
         let item = graph.item(orders.orders[0][0]);
         assert_eq!(plan.get(item.stage_pair), most_aggressive);

@@ -282,22 +282,12 @@ mod tests {
         let budget = Duration::from_secs(3);
         let (small, n) = graph(2);
         let (large, _) = graph(6);
-        let t_small = monolithic_ilp_search(
-            &small,
-            n,
-            &vec![u64::MAX / 4; small.num_ranks],
-            4,
-            budget,
-        )
-        .search_time;
-        let t_large = monolithic_ilp_search(
-            &large,
-            n,
-            &vec![u64::MAX / 4; large.num_ranks],
-            4,
-            budget,
-        )
-        .search_time;
+        let t_small =
+            monolithic_ilp_search(&small, n, &vec![u64::MAX / 4; small.num_ranks], 4, budget)
+                .search_time;
+        let t_large =
+            monolithic_ilp_search(&large, n, &vec![u64::MAX / 4; large.num_ranks], 4, budget)
+                .search_time;
         assert!(t_large >= t_small);
     }
 }

@@ -38,6 +38,10 @@ pub struct OrderingSearchConfig {
     pub strategy: SearchStrategy,
     /// Wall-clock budget for the search.
     pub time_budget: Duration,
+    /// Optional cap on the number of ordering evaluations. Searches stop at
+    /// whichever of the two budgets is hit first; with a single worker this
+    /// makes the search deterministic for a fixed RNG seed.
+    pub max_evaluations: Option<u64>,
     /// Number of parallel CPU workers exploring the space (§6.2).
     pub workers: usize,
     /// Rollouts performed per MCTS expansion.
@@ -51,6 +55,13 @@ pub struct OrderingSearchConfig {
     pub dual_queue: DualQueueConfig,
     /// RNG seed.
     pub seed: u64,
+    /// Warm start: a segment ordering to evaluate before exploring, normally
+    /// the previous iteration's best (see
+    /// [`ordering_from_priorities`]). MCTS additionally seeds its tree with
+    /// this path, so exploration starts around the incumbent instead of
+    /// cold-starting. Ignored unless it is a permutation of the segment
+    /// indices.
+    pub seed_ordering: Option<Vec<usize>>,
 }
 
 impl Default for OrderingSearchConfig {
@@ -58,14 +69,61 @@ impl Default for OrderingSearchConfig {
         Self {
             strategy: SearchStrategy::Mcts,
             time_budget: Duration::from_millis(500),
+            max_evaluations: None,
             workers: 4,
             rollouts_per_expansion: 4,
             ucb_beta: 0.5,
             ucb_alpha: 1.0,
             dual_queue: DualQueueConfig::default(),
             seed: 0,
+            seed_ordering: None,
         }
     }
+}
+
+impl OrderingSearchConfig {
+    /// Returns this configuration warm-started from `ordering`.
+    pub fn with_seed_ordering(mut self, ordering: Vec<usize>) -> Self {
+        self.seed_ordering = Some(ordering);
+        self
+    }
+}
+
+/// Converts segment priorities (higher = earlier) back into the ordering
+/// that produced them — the inverse of the search's priority assignment.
+/// Useful for warm-starting the next search from a previous
+/// [`OrderingResult::segment_priorities`].
+pub fn ordering_from_priorities(priorities: &[i64]) -> Vec<usize> {
+    let mut ordering: Vec<usize> = (0..priorities.len()).collect();
+    ordering.sort_by_key(|&seg| std::cmp::Reverse(priorities[seg]));
+    ordering
+}
+
+/// True when `ordering` is a permutation of `0..num_segments`.
+fn is_permutation(ordering: &[usize], num_segments: usize) -> bool {
+    if ordering.len() != num_segments {
+        return false;
+    }
+    let mut seen = vec![false; num_segments];
+    for &seg in ordering {
+        if seg >= num_segments || seen[seg] {
+            return false;
+        }
+        seen[seg] = true;
+    }
+    true
+}
+
+/// True when either the wall-clock or the evaluation budget is exhausted.
+fn budget_exhausted(
+    config: &OrderingSearchConfig,
+    start: Instant,
+    evaluations: &AtomicU64,
+) -> bool {
+    start.elapsed() >= config.time_budget
+        || config
+            .max_evaluations
+            .is_some_and(|cap| evaluations.load(AtomicOrdering::Relaxed) >= cap)
 }
 
 /// A point on the best-score-versus-time curve (Fig. 11).
@@ -140,19 +198,52 @@ pub fn search_ordering(
     });
     let evaluations = AtomicU64::new(1);
 
+    // Warm start: evaluate the seeded ordering (typically the previous
+    // iteration's best) so the incumbent is at least as good as last time.
+    let warm = config
+        .seed_ordering
+        .as_deref()
+        .filter(|seed| is_permutation(seed, num_segments));
+    let mut warm_time = None;
+    if let Some(seed) = warm {
+        let (t, o, p) = evaluate(graph, seed, &config.dual_queue);
+        evaluations.fetch_add(1, AtomicOrdering::Relaxed);
+        record_if_better(&best, start, t, &p, &o);
+        warm_time = Some(t);
+    }
+
     if num_segments > 1 {
         match config.strategy {
             SearchStrategy::Mcts => {
-                let tree = Mutex::new(MctsTree::new(num_segments));
+                let mut initial_tree = MctsTree::new(num_segments);
+                if let (Some(seed), Some(t)) = (warm, warm_time) {
+                    initial_tree.seed_path(seed, t);
+                }
+                let tree = Mutex::new(initial_tree);
                 run_workers(config, |worker| {
                     mcts_worker(
-                        graph, num_segments, config, &tree, &best, &evaluations, start, worker,
+                        graph,
+                        num_segments,
+                        config,
+                        &tree,
+                        &best,
+                        &evaluations,
+                        start,
+                        worker,
                     )
                 });
             }
             SearchStrategy::Random => {
                 run_workers(config, |worker| {
-                    random_worker(graph, num_segments, config, &best, &evaluations, start, worker)
+                    random_worker(
+                        graph,
+                        num_segments,
+                        config,
+                        &best,
+                        &evaluations,
+                        start,
+                        worker,
+                    )
                 });
             }
             SearchStrategy::Dfs => {
@@ -223,7 +314,7 @@ fn random_worker(
 ) {
     let mut rng = StdRng::seed_from_u64(config.seed ^ (worker as u64).wrapping_mul(0x9E3779B9));
     let mut ordering: Vec<usize> = (0..num_segments).collect();
-    while start.elapsed() < config.time_budget {
+    while !budget_exhausted(config, start, evaluations) {
         ordering.shuffle(&mut rng);
         let (t, o, p) = evaluate(graph, &ordering, &config.dual_queue);
         evaluations.fetch_add(1, AtomicOrdering::Relaxed);
@@ -254,7 +345,7 @@ fn dfs_search(
         prefix: &mut Vec<usize>,
         remaining: &mut Vec<usize>,
     ) {
-        if start.elapsed() >= config.time_budget {
+        if budget_exhausted(config, start, evaluations) {
             return;
         }
         if remaining.is_empty() {
@@ -317,6 +408,34 @@ impl MctsTree {
             nodes: vec![MctsNode::new()],
         }
     }
+
+    /// Warm start: materialise `ordering` as a path from the root, crediting
+    /// every node on it with one visit at the ordering's observed time. UCB
+    /// then treats the previous best as an already-explored promising branch
+    /// instead of starting from an empty tree.
+    fn seed_path(&mut self, ordering: &[usize], time_s: f64) {
+        let mut node_idx = 0usize;
+        for &seg in ordering {
+            self.nodes[node_idx].visits += 1;
+            if time_s < self.nodes[node_idx].best_time {
+                self.nodes[node_idx].best_time = time_s;
+            }
+            let next = match self.nodes[node_idx].children.get(&seg) {
+                Some(&idx) => idx,
+                None => {
+                    let idx = self.nodes.len();
+                    self.nodes.push(MctsNode::new());
+                    self.nodes[node_idx].children.insert(seg, idx);
+                    idx
+                }
+            };
+            node_idx = next;
+        }
+        self.nodes[node_idx].visits += 1;
+        if time_s < self.nodes[node_idx].best_time {
+            self.nodes[node_idx].best_time = time_s;
+        }
+    }
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -331,7 +450,7 @@ fn mcts_worker(
     worker: usize,
 ) {
     let mut rng = StdRng::seed_from_u64(config.seed ^ (worker as u64).wrapping_mul(0xA5A5A5A5));
-    while start.elapsed() < config.time_budget {
+    while !budget_exhausted(config, start, evaluations) {
         // --- Selection + expansion (under the shared-tree lock). ---
         let (path, prefix) = {
             let mut t = tree.lock();
@@ -343,8 +462,7 @@ fn mcts_worker(
                 if prefix.len() == num_segments {
                     break;
                 }
-                let unused: Vec<usize> =
-                    (0..num_segments).filter(|s| !used[*s]).collect();
+                let unused: Vec<usize> = (0..num_segments).filter(|s| !used[*s]).collect();
                 // Expand if some child is missing.
                 let missing: Vec<usize> = unused
                     .iter()
@@ -406,7 +524,7 @@ fn mcts_worker(
             evaluations.fetch_add(1, AtomicOrdering::Relaxed);
             record_if_better(best, start, t, &p, &o);
             local_best = local_best.min(t);
-            if start.elapsed() >= config.time_budget {
+            if budget_exhausted(config, start, evaluations) {
                 break;
             }
         }
@@ -478,7 +596,11 @@ mod tests {
         let (graph, n) = vlm_graph(6);
         let identity: Vec<usize> = (0..n).collect();
         let (identity_time, _, _) = evaluate(&graph, &identity, &DualQueueConfig::default());
-        for strategy in [SearchStrategy::Mcts, SearchStrategy::Random, SearchStrategy::Dfs] {
+        for strategy in [
+            SearchStrategy::Mcts,
+            SearchStrategy::Random,
+            SearchStrategy::Dfs,
+        ] {
             let result = search_ordering(&graph, n, &quick_config(strategy));
             assert!(
                 result.best_time_s <= identity_time + 1e-9,
@@ -492,9 +614,115 @@ mod tests {
     #[test]
     fn all_strategies_count_evaluations() {
         let (graph, n) = vlm_graph(2);
-        for strategy in [SearchStrategy::Mcts, SearchStrategy::Random, SearchStrategy::Dfs] {
+        for strategy in [
+            SearchStrategy::Mcts,
+            SearchStrategy::Random,
+            SearchStrategy::Dfs,
+        ] {
             let result = search_ordering(&graph, n, &quick_config(strategy));
             assert!(result.evaluations >= 1, "{strategy:?}");
+        }
+    }
+
+    #[test]
+    fn ordering_from_priorities_inverts_priority_assignment() {
+        let ordering = vec![2usize, 0, 3, 1];
+        let n = ordering.len();
+        let mut priorities = vec![0i64; n];
+        for (pos, &seg) in ordering.iter().enumerate() {
+            priorities[seg] = (n - pos) as i64;
+        }
+        assert_eq!(ordering_from_priorities(&priorities), ordering);
+    }
+
+    #[test]
+    fn warm_start_is_at_least_as_good_as_the_seeded_ordering() {
+        let (graph, n) = vlm_graph(4);
+        // Cold search finds some best ordering.
+        let cold = search_ordering(&graph, n, &quick_config(SearchStrategy::Mcts));
+        let seed = ordering_from_priorities(&cold.segment_priorities);
+        let (seed_time, _, _) = evaluate(&graph, &seed, &DualQueueConfig::default());
+        // Warm search with zero exploration budget still holds the incumbent.
+        let config = OrderingSearchConfig {
+            time_budget: Duration::ZERO,
+            seed_ordering: Some(seed),
+            ..quick_config(SearchStrategy::Mcts)
+        };
+        let warm = search_ordering(&graph, n, &config);
+        assert!(
+            warm.best_time_s <= seed_time + 1e-9,
+            "warm {} vs seeded {}",
+            warm.best_time_s,
+            seed_time
+        );
+        // Identity + seed were both evaluated.
+        assert_eq!(warm.evaluations, 2);
+    }
+
+    #[test]
+    fn invalid_seed_orderings_are_ignored() {
+        let (graph, n) = vlm_graph(2);
+        for bad in [
+            vec![0usize; n],
+            vec![0usize],
+            (0..n + 1).collect::<Vec<_>>(),
+        ] {
+            let config = OrderingSearchConfig {
+                time_budget: Duration::ZERO,
+                seed_ordering: Some(bad),
+                ..quick_config(SearchStrategy::Mcts)
+            };
+            let result = search_ordering(&graph, n, &config);
+            assert_eq!(result.evaluations, 1, "only the identity is evaluated");
+        }
+    }
+
+    #[test]
+    fn warm_started_search_is_deterministic_for_a_fixed_seed() {
+        let (graph, n) = vlm_graph(4);
+        let run = || {
+            let config = OrderingSearchConfig {
+                strategy: SearchStrategy::Mcts,
+                // Bound by evaluations, not wall clock, for determinism.
+                time_budget: Duration::from_secs(3600),
+                max_evaluations: Some(40),
+                workers: 1,
+                rollouts_per_expansion: 2,
+                seed: 7,
+                seed_ordering: Some((0..n).rev().collect()),
+                ..OrderingSearchConfig::default()
+            };
+            search_ordering(&graph, n, &config)
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.segment_priorities, b.segment_priorities);
+        assert_eq!(a.evaluations, b.evaluations);
+        assert_eq!(a.orders, b.orders);
+        assert!((a.best_time_s - b.best_time_s).abs() < 1e-12);
+    }
+
+    #[test]
+    fn max_evaluations_caps_the_search() {
+        let (graph, n) = vlm_graph(3);
+        for strategy in [
+            SearchStrategy::Mcts,
+            SearchStrategy::Random,
+            SearchStrategy::Dfs,
+        ] {
+            let config = OrderingSearchConfig {
+                time_budget: Duration::from_secs(3600),
+                max_evaluations: Some(10),
+                workers: 1,
+                rollouts_per_expansion: 1,
+                ..quick_config(strategy)
+            };
+            let result = search_ordering(&graph, n, &config);
+            assert!(
+                result.evaluations <= 12,
+                "{strategy:?} ran {} evaluations",
+                result.evaluations
+            );
         }
     }
 
@@ -502,12 +730,10 @@ mod tests {
     fn single_segment_graph_needs_no_search() {
         let spec = zoo::lm_7b();
         let parallel = ParallelConfig::new(2, 2, 1);
-        let placement =
-            dip_pipeline::balanced_param_placement(&spec, parallel, 1);
+        let placement = dip_pipeline::balanced_param_placement(&spec, parallel, 1);
         let cluster = ClusterSpec::h800_cluster(1);
         let builder = StageGraphBuilder::new(&spec, &placement, &cluster);
-        let batch = BatchWorkload::new()
-            .with(Modality::Text, ModalityWorkload::from_tokens(4096));
+        let batch = BatchWorkload::new().with(Modality::Text, ModalityWorkload::from_tokens(4096));
         let plan = SubMicrobatchPlan::uniform(1, 1);
         let graph = builder.build(&[batch], &plan).unwrap();
         let result = search_ordering(&graph, 1, &quick_config(SearchStrategy::Mcts));

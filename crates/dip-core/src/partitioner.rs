@@ -7,6 +7,7 @@
 //! incoming microbatch, it splits each module's workload into
 //! `M_i = ⌈N_i / B_i⌉` sub-microbatches.
 
+use crate::error::{DipError, ResultExt};
 use dip_models::{BatchWorkload, LmmSpec, ModalityWorkload, ModuleId, ModuleRole};
 use dip_pipeline::{separated_placement, ParallelConfig, Placement, SubMicrobatchPlan};
 use dip_sim::TimingModel;
@@ -115,8 +116,7 @@ impl<'a> ModalityAwarePartitioner<'a> {
                 continue;
             }
             let cost = module.cost(&wl, self.parallel.tp);
-            let latency =
-                self.timing.forward_latency(&cost) + self.timing.backward_latency(&cost);
+            let latency = self.timing.forward_latency(&cost) + self.timing.backward_latency(&cost);
             latencies.push((id, latency.max(1e-9)));
         }
         let t1 = latencies
@@ -125,8 +125,7 @@ impl<'a> ModalityAwarePartitioner<'a> {
             .fold(f64::INFINITY, f64::min);
         let mut counts = BTreeMap::new();
         for (id, t) in latencies {
-            let k = ((t / t1).floor() as usize)
-                .clamp(1, self.config.max_segments_per_module);
+            let k = ((t / t1).floor() as usize).clamp(1, self.config.max_segments_per_module);
             counts.insert(id, k);
         }
         counts
@@ -134,9 +133,18 @@ impl<'a> ModalityAwarePartitioner<'a> {
 
     /// Runs the full offline phase: sub-microbatch sizes, segment counts and
     /// the separated placement.
-    pub fn partition(&self, representative: &BatchWorkload) -> PartitionerOutput {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DipError::Pipeline`] when the separated placement does not
+    /// validate against the model specification (e.g. a degenerate parallel
+    /// configuration leaves layers uncovered).
+    pub fn partition(&self, representative: &BatchWorkload) -> Result<PartitionerOutput, DipError> {
         let segment_counts = self.segment_counts(representative);
         let placement = separated_placement(self.spec, self.parallel, &segment_counts);
+        placement
+            .validate(self.spec)
+            .planning_context("offline modality-aware partitioning")?;
 
         let mut sub_microbatch_sizes = BTreeMap::new();
         for (id, module) in self.spec.iter() {
@@ -152,19 +160,16 @@ impl<'a> ModalityAwarePartitioner<'a> {
                 continue;
             }
             let instances = wl.sequences.max(1);
-            let instance_workload = ModalityWorkload::new(
-                (wl.tokens / instances).max(1),
-                1,
-            );
+            let instance_workload = ModalityWorkload::new((wl.tokens / instances).max(1), 1);
             let size = self.sub_microbatch_size(id, &instance_workload, instances);
             sub_microbatch_sizes.insert(id, size);
         }
 
-        PartitionerOutput {
+        Ok(PartitionerOutput {
             sub_microbatch_sizes,
             segment_counts,
             placement,
-        }
+        })
     }
 
     /// Online step ② of the workflow: builds the sub-microbatch plan for one
@@ -261,7 +266,7 @@ mod tests {
     fn partition_produces_a_valid_separated_placement() {
         let spec = zoo::vlm_s();
         let p = partitioner(&spec);
-        let out = p.partition(&vlm_batch(10));
+        let out = p.partition(&vlm_batch(10)).unwrap();
         out.placement.validate(&spec).unwrap();
         assert!(out.placement.segments.len() >= 3);
         for seg in &out.placement.segments {
@@ -279,14 +284,14 @@ mod tests {
         let b_small = p.sub_microbatch_size(encoder_id, &small_instance, 48);
         let b_large = p.sub_microbatch_size(encoder_id, &large_instance, 48);
         assert!(b_large <= b_small);
-        assert!(b_small >= 1 && b_small <= 48);
+        assert!((1..=48).contains(&b_small));
     }
 
     #[test]
     fn sub_microbatch_plan_splits_only_image_segments() {
         let spec = zoo::vlm_s();
         let p = partitioner(&spec);
-        let out = p.partition(&vlm_batch(24));
+        let out = p.partition(&vlm_batch(24)).unwrap();
         let batches = vec![vlm_batch(48), vlm_batch(1)];
         let plan = p.sub_microbatch_plan(&out, &batches);
         let backbone = spec.backbone_id().unwrap();
@@ -307,7 +312,7 @@ mod tests {
     fn consecutive_segments_of_a_module_share_split_counts() {
         let spec = zoo::vlm_s();
         let p = partitioner(&spec);
-        let out = p.partition(&vlm_batch(24));
+        let out = p.partition(&vlm_batch(24)).unwrap();
         let batches = vec![vlm_batch(40); 3];
         let plan = p.sub_microbatch_plan(&out, &batches);
         for (id, _) in spec.iter() {
@@ -327,7 +332,7 @@ mod tests {
         let batch = BatchWorkload::new()
             .with(Modality::Text, ModalityWorkload::new(1200, 8))
             .with(Modality::Video, ModalityWorkload::new(16 * 1560, 4));
-        let out = p.partition(&batch);
+        let out = p.partition(&batch).unwrap();
         out.placement.validate(&spec).unwrap();
         assert!(out.segment_counts.len() >= 2);
     }

@@ -3,13 +3,14 @@
 //! is searched on idle CPU workers, per-layer memory strategies are chosen,
 //! and the resulting execution plan is deployed (here: simulated).
 
+use crate::error::{DipError, ResultExt};
 use crate::memopt::{optimize_memory, MemoryOptConfig};
 use crate::ordering::{search_ordering, OrderingResult, OrderingSearchConfig, SearchStrategy};
 use crate::partitioner::{ModalityAwarePartitioner, PartitionerConfig, PartitionerOutput};
 use dip_models::{BatchWorkload, LmmSpec};
 use dip_pipeline::{
     dual_queue, execute, DualQueueConfig, ExecutionOutcome, ExecutorConfig, MemoryPlan,
-    ParallelConfig, PipelineError, RankOrders, StageGraph, StageGraphBuilder, SubMicrobatchPlan,
+    ParallelConfig, RankOrders, StageGraph, StageGraphBuilder, SubMicrobatchPlan,
 };
 use dip_sim::{ClusterSpec, EfficiencyModel, TimingModel};
 use parking_lot::Mutex;
@@ -81,12 +82,27 @@ impl PlannerConfig {
 /// Statistics of one planning invocation.
 #[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
 pub struct PlannerStats {
-    /// Wall-clock time spent planning (search + memory optimisation).
+    /// Wall-clock time spent planning (all phases).
     pub planning_time: Duration,
+    /// Wall-clock time of the partitioning phase (sub-microbatch planning
+    /// and stage-graph construction; includes the offline partition on the
+    /// first iteration).
+    pub partition_time: Duration,
+    /// Wall-clock time of the schedule-search phase (§5.1–5.2).
+    pub search_time: Duration,
+    /// Wall-clock time of the memory-optimisation phase (§5.3), including
+    /// the graph rebuild under the chosen strategies.
+    pub memopt_time: Duration,
     /// Number of schedule candidates evaluated by the searcher.
     pub search_evaluations: u64,
     /// The searcher's own estimate of the planned iteration time (seconds).
     pub planned_time_s: f64,
+    /// True when the plan was served from a [`crate::PlanningSession`]
+    /// cache instead of being computed.
+    pub cache_hit: bool,
+    /// True when the schedule search was warm-started from a previous
+    /// iteration's best ordering.
+    pub warm_started: bool,
 }
 
 /// A deployed execution plan for one training iteration.
@@ -145,16 +161,24 @@ impl<'a> DipPlanner<'a> {
     /// Runs (or re-runs) the offline phase against a representative
     /// microbatch, fixing the model-chunk placement for subsequent
     /// iterations.
-    pub fn offline_partition(&self, representative: &BatchWorkload) -> PartitionerOutput {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DipError::Pipeline`] if the resulting placement is invalid
+    /// for the model specification.
+    pub fn offline_partition(
+        &self,
+        representative: &BatchWorkload,
+    ) -> Result<PartitionerOutput, DipError> {
         let partitioner = ModalityAwarePartitioner::new(
             self.spec,
             self.parallel,
             self.timing,
             self.config.partitioner,
         );
-        let output = partitioner.partition(representative);
+        let output = partitioner.partition(representative)?;
         *self.partition.lock() = Some(output.clone());
-        output
+        Ok(output)
     }
 
     /// The fixed partitioner output, if the offline phase has run.
@@ -162,18 +186,18 @@ impl<'a> DipPlanner<'a> {
         self.partition.lock().clone()
     }
 
-    fn ensure_partition(&self, microbatches: &[BatchWorkload]) -> PartitionerOutput {
+    fn ensure_partition(
+        &self,
+        microbatches: &[BatchWorkload],
+    ) -> Result<PartitionerOutput, DipError> {
         if let Some(p) = self.partition.lock().clone() {
-            return p;
+            return Ok(p);
         }
         // Use the heaviest microbatch of the first iteration as the
         // representative workload.
         let representative = microbatches
             .iter()
-            .max_by(|a, b| {
-                a.total_tokens()
-                    .cmp(&b.total_tokens())
-            })
+            .max_by(|a, b| a.total_tokens().cmp(&b.total_tokens()))
             .cloned()
             .unwrap_or_default();
         self.offline_partition(&representative)
@@ -184,10 +208,34 @@ impl<'a> DipPlanner<'a> {
     ///
     /// # Errors
     ///
-    /// Propagates [`PipelineError`] from stage-graph construction.
-    pub fn plan_iteration(&self, microbatches: &[BatchWorkload]) -> Result<DipPlan, PipelineError> {
+    /// Returns [`DipError`] wrapping failures from partitioning, stage-graph
+    /// construction or memory optimisation.
+    pub fn plan_iteration(&self, microbatches: &[BatchWorkload]) -> Result<DipPlan, DipError> {
+        self.plan_iteration_seeded(microbatches, None)
+    }
+
+    /// Like [`DipPlanner::plan_iteration`], but warm-starts the schedule
+    /// search from `seed_ordering` (normally the best ordering of a previous
+    /// iteration with a similar shape; see
+    /// [`crate::ordering_from_priorities`]). The [`crate::PlanningSession`]
+    /// layer uses this on every cache miss after the first plan.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DipError`] wrapping failures from partitioning, stage-graph
+    /// construction or memory optimisation.
+    pub fn plan_iteration_seeded(
+        &self,
+        microbatches: &[BatchWorkload],
+        seed_ordering: Option<&[usize]>,
+    ) -> Result<DipPlan, DipError> {
+        if microbatches.is_empty() {
+            return Err(DipError::invalid_request(
+                "cannot plan an iteration with zero microbatches",
+            ));
+        }
         let start = Instant::now();
-        let partition = self.ensure_partition(microbatches);
+        let partition = self.ensure_partition(microbatches)?;
         let partitioner = ModalityAwarePartitioner::new(
             self.spec,
             self.parallel,
@@ -198,7 +246,9 @@ impl<'a> DipPlanner<'a> {
 
         let builder = StageGraphBuilder::new(self.spec, &partition.placement, self.cluster)
             .with_timing(self.timing);
-        let graph = builder.build(microbatches, &sub_plan)?;
+        let graph = builder
+            .build(microbatches, &sub_plan)
+            .planning_context("building stage graph")?;
         let budget: Vec<u64> = graph
             .static_memory
             .iter()
@@ -208,11 +258,15 @@ impl<'a> DipPlanner<'a> {
             memory_limit: Some(budget.clone()),
             ..DualQueueConfig::default()
         };
+        let partition_time = start.elapsed();
 
         // Phase ①+②: segment reordering + stage interleaving.
+        let search_start = Instant::now();
+        let warm_started = self.config.enable_search && seed_ordering.is_some();
         let (priorities, orders, evaluations, planned_time) = if self.config.enable_search {
             let search_config = OrderingSearchConfig {
                 dual_queue: base_queue.clone(),
+                seed_ordering: seed_ordering.map(<[usize]>::to_vec),
                 ..self.config.search.clone()
             };
             let OrderingResult {
@@ -232,15 +286,18 @@ impl<'a> DipPlanner<'a> {
                 makespan,
             )
         };
+        let search_time = search_start.elapsed();
 
         // Phase ③: per-layer memory optimisation, then rebuild the graph with
         // the chosen strategies and re-interleave with the same priorities.
+        let memopt_start = Instant::now();
         let (graph, orders, memory_plan, planned_time) = if self.config.enable_memory_opt {
-            let memory_plan = optimize_memory(&graph, &orders, &budget, &self.config.memory);
+            let memory_plan = optimize_memory(&graph, &orders, &budget, &self.config.memory)?;
             let graph = StageGraphBuilder::new(self.spec, &partition.placement, self.cluster)
                 .with_timing(self.timing)
                 .with_memory_plan(memory_plan.clone())
-                .build(microbatches, &sub_plan)?;
+                .build(microbatches, &sub_plan)
+                .planning_context("rebuilding stage graph with memory plan")?;
             let queue = DualQueueConfig {
                 segment_priorities: priorities.clone(),
                 ..base_queue
@@ -250,6 +307,7 @@ impl<'a> DipPlanner<'a> {
         } else {
             (graph, orders, MemoryPlan::new(), planned_time)
         };
+        let memopt_time = memopt_start.elapsed();
 
         Ok(DipPlan {
             graph,
@@ -259,8 +317,13 @@ impl<'a> DipPlanner<'a> {
             sub_microbatches: sub_plan,
             stats: PlannerStats {
                 planning_time: start.elapsed(),
+                partition_time,
+                search_time,
+                memopt_time,
                 search_evaluations: evaluations,
                 planned_time_s: planned_time,
+                cache_hit: false,
+                warm_started,
             },
         })
     }
@@ -270,8 +333,8 @@ impl<'a> DipPlanner<'a> {
     ///
     /// # Errors
     ///
-    /// Propagates [`PipelineError::Simulation`] if the plan is inconsistent.
-    pub fn simulate(&self, plan: &DipPlan) -> Result<ExecutionOutcome, PipelineError> {
+    /// Returns [`DipError::Pipeline`] if the plan is inconsistent.
+    pub fn simulate(&self, plan: &DipPlan) -> Result<ExecutionOutcome, DipError> {
         execute(
             &plan.graph,
             &plan.orders,
@@ -279,17 +342,18 @@ impl<'a> DipPlanner<'a> {
             &self.timing,
             &ExecutorConfig::new(self.parallel),
         )
+        .planning_context("simulating plan deployment")
     }
 
     /// Convenience: plan and simulate one iteration.
     ///
     /// # Errors
     ///
-    /// Propagates [`PipelineError`] from planning or simulation.
+    /// Returns [`DipError`] from planning or simulation.
     pub fn plan_and_simulate(
         &self,
         microbatches: &[BatchWorkload],
-    ) -> Result<(DipPlan, ExecutionOutcome), PipelineError> {
+    ) -> Result<(DipPlan, ExecutionOutcome), DipError> {
         let plan = self.plan_iteration(microbatches)?;
         let outcome = self.simulate(&plan)?;
         Ok((plan, outcome))
@@ -321,7 +385,8 @@ mod tests {
             &cluster,
             PlannerConfig::fast(),
         );
-        let batches: Vec<BatchWorkload> = [10u64, 40, 2, 30].iter().map(|&i| vlm_batch(i)).collect();
+        let batches: Vec<BatchWorkload> =
+            [10u64, 40, 2, 30].iter().map(|&i| vlm_batch(i)).collect();
         let (plan, outcome) = planner.plan_and_simulate(&batches).unwrap();
         assert!(outcome.metrics.iteration_time_s > 0.0);
         assert!(outcome.metrics.mfu > 0.0);
@@ -357,7 +422,8 @@ mod tests {
         let spec = zoo::vlm_s();
         let cluster = ClusterSpec::h800_cluster(2);
         let parallel = ParallelConfig::new(4, 4, 1);
-        let batches: Vec<BatchWorkload> = [24u64, 8, 40, 16].iter().map(|&i| vlm_batch(i)).collect();
+        let batches: Vec<BatchWorkload> =
+            [24u64, 8, 40, 16].iter().map(|&i| vlm_batch(i)).collect();
 
         let full = DipPlanner::new(&spec, parallel, &cluster, PlannerConfig::fast());
         let (_, full_outcome) = full.plan_and_simulate(&batches).unwrap();
@@ -365,8 +431,7 @@ mod tests {
         let (_, no_opt_outcome) = no_opt.plan_and_simulate(&batches).unwrap();
 
         assert!(
-            full_outcome.metrics.iteration_time_s
-                <= no_opt_outcome.metrics.iteration_time_s * 1.05,
+            full_outcome.metrics.iteration_time_s <= no_opt_outcome.metrics.iteration_time_s * 1.05,
             "full {} vs no-opt {}",
             full_outcome.metrics.iteration_time_s,
             no_opt_outcome.metrics.iteration_time_s
@@ -400,7 +465,10 @@ mod tests {
             &cluster,
             PlannerConfig::fast(),
         );
-        let batches: Vec<BatchWorkload> = [30u64, 45, 20, 40, 10, 48].iter().map(|&i| vlm_batch(i)).collect();
+        let batches: Vec<BatchWorkload> = [30u64, 45, 20, 40, 10, 48]
+            .iter()
+            .map(|&i| vlm_batch(i))
+            .collect();
         let (_, outcome) = planner.plan_and_simulate(&batches).unwrap();
         assert!(
             outcome.metrics.peak_memory_bytes <= cluster.gpu.mem_capacity as i64,

@@ -1,0 +1,620 @@
+//! The planning-session layer: plan caching and warm-started search across
+//! training iterations.
+//!
+//! The online planner (§3.2) re-plans every iteration, but dynamic
+//! multimodal workloads repeat shapes: the Fig. 8b rise-and-fall envelope
+//! cycles through the same image-count bounds, and production traces see
+//! the same packed-batch shapes again and again. A [`PlanningSession`]
+//! amortises that repetition the way a JIT caches compiled byte-code:
+//!
+//! * every [`PlanRequest`] is keyed by a canonical [`WorkloadSignature`]
+//!   derived from the per-modality token/sequence counts of its
+//!   microbatches ([`dip_models::BatchWorkload::signature`]);
+//! * plans for already-seen signatures are served from an LRU cache in
+//!   microseconds instead of re-running the MCTS ordering search and the
+//!   memory ILP (the [`SessionStats`] hit/miss counters make the saving
+//!   observable);
+//! * on a cache miss, the ordering search is **warm-started** from the
+//!   previous iteration's best ordering
+//!   ([`crate::ordering_from_priorities`]), so similar-but-not-identical
+//!   shapes start from a good incumbent instead of cold-starting.
+//!
+//! # Example
+//!
+//! ```
+//! use dip_core::{PlanRequest, PlanningSession, PlannerConfig};
+//! use dip_models::{zoo, BatchWorkload, Modality, ModalityWorkload};
+//! use dip_pipeline::ParallelConfig;
+//! use dip_sim::ClusterSpec;
+//!
+//! let spec = zoo::vlm_s();
+//! let cluster = ClusterSpec::h800_cluster(2);
+//! let mut session = PlanningSession::new(
+//!     &spec,
+//!     ParallelConfig::new(4, 4, 1),
+//!     &cluster,
+//!     PlannerConfig::fast(),
+//! );
+//! let request = PlanRequest::new(vec![BatchWorkload::new()
+//!     .with(Modality::Text, ModalityWorkload::new(6502, 1))
+//!     .with(Modality::Image, ModalityWorkload::new(1690, 10))]);
+//! let first = session.plan(&request).unwrap();
+//! let second = session.plan(&request).unwrap();
+//! assert!(!first.cache_hit && second.cache_hit);
+//! assert_eq!(first.plan.orders, second.plan.orders);
+//! ```
+
+use crate::error::DipError;
+use crate::ordering::ordering_from_priorities;
+use crate::planner::{DipPlan, DipPlanner, PlannerConfig};
+use dip_models::{BatchWorkload, LmmSpec};
+use dip_pipeline::{ExecutionOutcome, ParallelConfig};
+use dip_sim::ClusterSpec;
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Canonical signature of one iteration's prefetched workload metadata.
+///
+/// Two requests share a signature exactly when they contain the same
+/// microbatch workloads in the same order; the underlying hash is stable
+/// across processes, so signatures can be logged and compared between runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct WorkloadSignature(u64);
+
+impl WorkloadSignature {
+    /// Computes the signature of an iteration's microbatches.
+    pub fn of(microbatches: &[BatchWorkload]) -> Self {
+        // SplitMix64-style finalisation of each batch signature folded over
+        // the sequence, so microbatch order matters and batches do not
+        // cancel each other out.
+        let mut acc = 0x9E37_79B9_7F4A_7C15u64 ^ (microbatches.len() as u64);
+        for batch in microbatches {
+            let mut z = acc.wrapping_add(batch.signature());
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            acc = z ^ (z >> 31);
+        }
+        Self(acc)
+    }
+
+    /// The raw 64-bit value.
+    pub fn as_u64(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for WorkloadSignature {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:016x}", self.0)
+    }
+}
+
+/// One iteration's planning request: the prefetched microbatch metadata
+/// (workflow step ① of §3.2).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct PlanRequest {
+    microbatches: Vec<BatchWorkload>,
+}
+
+impl PlanRequest {
+    /// A request planning `microbatches` for the next iteration.
+    pub fn new(microbatches: Vec<BatchWorkload>) -> Self {
+        Self { microbatches }
+    }
+
+    /// The microbatch workloads of the request.
+    pub fn microbatches(&self) -> &[BatchWorkload] {
+        &self.microbatches
+    }
+
+    /// The request's canonical workload signature (the plan-cache key).
+    pub fn signature(&self) -> WorkloadSignature {
+        WorkloadSignature::of(&self.microbatches)
+    }
+}
+
+impl From<Vec<BatchWorkload>> for PlanRequest {
+    fn from(microbatches: Vec<BatchWorkload>) -> Self {
+        Self::new(microbatches)
+    }
+}
+
+impl From<&[BatchWorkload]> for PlanRequest {
+    fn from(microbatches: &[BatchWorkload]) -> Self {
+        Self::new(microbatches.to_vec())
+    }
+}
+
+/// The outcome of planning one request through a [`PlanningSession`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanOutcome {
+    /// The execution plan (freshly computed or restored from the cache).
+    pub plan: DipPlan,
+    /// The request's workload signature.
+    pub signature: WorkloadSignature,
+    /// True when the plan was served from the session's cache.
+    pub cache_hit: bool,
+}
+
+/// Configuration of a [`PlanningSession`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SessionConfig {
+    /// Maximum number of cached plans (LRU eviction); `0` disables caching.
+    pub cache_capacity: usize,
+    /// Warm-start the ordering search from the previous iteration's best
+    /// ordering on cache misses.
+    pub warm_start: bool,
+}
+
+impl Default for SessionConfig {
+    fn default() -> Self {
+        Self {
+            cache_capacity: 64,
+            warm_start: true,
+        }
+    }
+}
+
+impl SessionConfig {
+    /// A session with caching and warm starts disabled — every request is
+    /// planned from scratch (the pre-session behaviour, useful as a
+    /// baseline).
+    pub fn cold() -> Self {
+        Self {
+            cache_capacity: 0,
+            warm_start: false,
+        }
+    }
+}
+
+/// Cumulative statistics of a [`PlanningSession`].
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct SessionStats {
+    /// Total plan requests served.
+    pub requests: u64,
+    /// Requests answered from the plan cache.
+    pub cache_hits: u64,
+    /// Requests that required a fresh plan.
+    pub cache_misses: u64,
+    /// Fresh plans whose search was warm-started.
+    pub warm_started_plans: u64,
+    /// Cached plans evicted by the LRU policy.
+    pub evictions: u64,
+    /// Cumulative wall-clock planning time (cache hits contribute only the
+    /// lookup cost).
+    pub planning_time: Duration,
+    /// Cumulative partitioning/stage-graph time of fresh plans.
+    pub partition_time: Duration,
+    /// Cumulative schedule-search time of fresh plans.
+    pub search_time: Duration,
+    /// Cumulative memory-optimisation time of fresh plans.
+    pub memopt_time: Duration,
+}
+
+impl SessionStats {
+    /// Fraction of requests served from the cache.
+    pub fn hit_rate(&self) -> f64 {
+        if self.requests == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / self.requests as f64
+        }
+    }
+}
+
+/// A multi-iteration planning session owning a [`DipPlanner`], a plan cache
+/// and the warm-start state (see the [module docs](self)).
+#[derive(Debug)]
+pub struct PlanningSession<'a> {
+    planner: DipPlanner<'a>,
+    config: SessionConfig,
+    cache: HashMap<u64, DipPlan>,
+    lru: VecDeque<u64>,
+    last_best_ordering: Option<Vec<usize>>,
+    stats: SessionStats,
+}
+
+impl<'a> PlanningSession<'a> {
+    /// Creates a session with the default [`SessionConfig`].
+    pub fn new(
+        spec: &'a LmmSpec,
+        parallel: ParallelConfig,
+        cluster: &'a ClusterSpec,
+        planner_config: PlannerConfig,
+    ) -> Self {
+        Self::with_config(
+            spec,
+            parallel,
+            cluster,
+            planner_config,
+            SessionConfig::default(),
+        )
+    }
+
+    /// Creates a session with an explicit [`SessionConfig`].
+    pub fn with_config(
+        spec: &'a LmmSpec,
+        parallel: ParallelConfig,
+        cluster: &'a ClusterSpec,
+        planner_config: PlannerConfig,
+        config: SessionConfig,
+    ) -> Self {
+        Self::from_planner(
+            DipPlanner::new(spec, parallel, cluster, planner_config),
+            config,
+        )
+    }
+
+    /// Wraps an existing planner into a session.
+    pub fn from_planner(planner: DipPlanner<'a>, config: SessionConfig) -> Self {
+        Self {
+            planner,
+            config,
+            cache: HashMap::new(),
+            lru: VecDeque::new(),
+            last_best_ordering: None,
+            stats: SessionStats::default(),
+        }
+    }
+
+    /// The underlying planner, for read access (timing model, partition
+    /// output). To re-run the offline phase use
+    /// [`PlanningSession::offline_partition`], which also invalidates the
+    /// plan cache — calling [`DipPlanner::offline_partition`] through this
+    /// reference instead would leave cached plans built against the old
+    /// placement being served.
+    pub fn planner(&self) -> &DipPlanner<'a> {
+        &self.planner
+    }
+
+    /// Runs (or re-runs) the planner's offline partitioning phase against a
+    /// representative microbatch, dropping every cached plan and the
+    /// warm-start seed: both were produced under the previous placement.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`DipError`] from [`DipPlanner::offline_partition`].
+    pub fn offline_partition(
+        &mut self,
+        representative: &BatchWorkload,
+    ) -> Result<crate::PartitionerOutput, DipError> {
+        let output = self.planner.offline_partition(representative)?;
+        self.clear();
+        Ok(output)
+    }
+
+    /// The session configuration.
+    pub fn config(&self) -> SessionConfig {
+        self.config
+    }
+
+    /// Cumulative session statistics.
+    pub fn stats(&self) -> SessionStats {
+        self.stats
+    }
+
+    /// Number of plans currently cached.
+    pub fn cached_plans(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Drops every cached plan and the warm-start state.
+    pub fn clear(&mut self) {
+        self.cache.clear();
+        self.lru.clear();
+        self.last_best_ordering = None;
+    }
+
+    /// Plans one iteration, serving repeated workload signatures from the
+    /// cache and warm-starting the search otherwise.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DipError::InvalidRequest`] for an empty request, otherwise
+    /// propagates the planner's [`DipError`].
+    pub fn plan(&mut self, request: &PlanRequest) -> Result<PlanOutcome, DipError> {
+        if request.microbatches().is_empty() {
+            return Err(DipError::invalid_request(
+                "cannot plan an iteration with zero microbatches",
+            ));
+        }
+        let start = Instant::now();
+        let signature = request.signature();
+        self.stats.requests += 1;
+
+        if let Some(cached) = self.cache.get(&signature.as_u64()) {
+            // The clone is proportional to the stage-graph size (µs at the
+            // scales planned here) and keeps the outcome self-contained;
+            // the expensive parts being skipped are the search and the ILP.
+            let mut plan = cached.clone();
+            self.touch(signature.as_u64());
+            self.stats.cache_hits += 1;
+            // The plan is identical to the cached original; only the
+            // bookkeeping reflects the (near-zero) cost of serving it.
+            plan.stats.cache_hit = true;
+            plan.stats.planning_time = start.elapsed();
+            plan.stats.partition_time = Duration::ZERO;
+            plan.stats.search_time = Duration::ZERO;
+            plan.stats.memopt_time = Duration::ZERO;
+            self.stats.planning_time += plan.stats.planning_time;
+            return Ok(PlanOutcome {
+                plan,
+                signature,
+                cache_hit: true,
+            });
+        }
+
+        let seed = if self.config.warm_start {
+            self.last_best_ordering.as_deref()
+        } else {
+            None
+        };
+        let plan = self
+            .planner
+            .plan_iteration_seeded(request.microbatches(), seed)?;
+
+        self.stats.cache_misses += 1;
+        if plan.stats.warm_started {
+            self.stats.warm_started_plans += 1;
+        }
+        self.stats.planning_time += plan.stats.planning_time;
+        self.stats.partition_time += plan.stats.partition_time;
+        self.stats.search_time += plan.stats.search_time;
+        self.stats.memopt_time += plan.stats.memopt_time;
+        self.last_best_ordering = Some(ordering_from_priorities(&plan.segment_priorities));
+        self.insert(signature.as_u64(), plan.clone());
+
+        Ok(PlanOutcome {
+            plan,
+            signature,
+            cache_hit: false,
+        })
+    }
+
+    /// Simulates the deployment of a plan (delegates to the planner).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DipError::Pipeline`] if the plan is inconsistent.
+    pub fn simulate(&self, plan: &DipPlan) -> Result<ExecutionOutcome, DipError> {
+        self.planner.simulate(plan)
+    }
+
+    /// Convenience: plan one request and simulate the resulting plan.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`DipError`] from planning or simulation.
+    pub fn plan_and_simulate(
+        &mut self,
+        request: &PlanRequest,
+    ) -> Result<(PlanOutcome, ExecutionOutcome), DipError> {
+        let outcome = self.plan(request)?;
+        let execution = self.simulate(&outcome.plan)?;
+        Ok((outcome, execution))
+    }
+
+    fn touch(&mut self, key: u64) {
+        if let Some(pos) = self.lru.iter().position(|&k| k == key) {
+            self.lru.remove(pos);
+            self.lru.push_back(key);
+        }
+    }
+
+    fn insert(&mut self, key: u64, plan: DipPlan) {
+        if self.config.cache_capacity == 0 {
+            return;
+        }
+        while self.cache.len() >= self.config.cache_capacity {
+            let Some(oldest) = self.lru.pop_front() else {
+                break;
+            };
+            self.cache.remove(&oldest);
+            self.stats.evictions += 1;
+        }
+        self.cache.insert(key, plan);
+        self.lru.push_back(key);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dip_models::{zoo, Modality, ModalityWorkload};
+    use std::time::Duration;
+
+    fn vlm_batch(images: u64) -> BatchWorkload {
+        BatchWorkload::new()
+            .with(
+                Modality::Text,
+                ModalityWorkload::new(8192 - images * 169, 1),
+            )
+            .with(Modality::Image, ModalityWorkload::new(images * 169, images))
+    }
+
+    fn request(counts: &[u64]) -> PlanRequest {
+        PlanRequest::new(counts.iter().map(|&i| vlm_batch(i)).collect())
+    }
+
+    fn session<'a>(
+        spec: &'a LmmSpec,
+        cluster: &'a ClusterSpec,
+        config: SessionConfig,
+    ) -> PlanningSession<'a> {
+        PlanningSession::with_config(
+            spec,
+            ParallelConfig::new(4, 4, 1),
+            cluster,
+            PlannerConfig::fast(),
+            config,
+        )
+    }
+
+    #[test]
+    fn request_signatures_track_workload_identity() {
+        let a = request(&[10, 20]);
+        let b = request(&[10, 20]);
+        let c = request(&[20, 10]);
+        assert_eq!(a.signature(), b.signature());
+        assert_ne!(a.signature(), c.signature(), "microbatch order matters");
+        assert_ne!(
+            request(&[10]).signature(),
+            request(&[10, 10]).signature(),
+            "length matters"
+        );
+        assert_eq!(format!("{}", a.signature()).len(), 16);
+    }
+
+    #[test]
+    fn cache_hit_returns_an_identical_plan() {
+        let spec = zoo::vlm_s();
+        let cluster = ClusterSpec::h800_cluster(2);
+        let mut session = session(&spec, &cluster, SessionConfig::default());
+        let req = request(&[10, 40, 2, 30]);
+
+        let first = session.plan(&req).unwrap();
+        let second = session.plan(&req).unwrap();
+        assert!(!first.cache_hit);
+        assert!(second.cache_hit);
+        assert!(second.plan.stats.cache_hit);
+        assert_eq!(first.signature, second.signature);
+        assert_eq!(first.plan.orders, second.plan.orders);
+        assert_eq!(
+            first.plan.segment_priorities,
+            second.plan.segment_priorities
+        );
+        assert_eq!(first.plan.memory_plan, second.plan.memory_plan);
+        assert_eq!(first.plan.sub_microbatches, second.plan.sub_microbatches);
+
+        // Identical plans simulate to identical iteration times.
+        let t1 = session
+            .simulate(&first.plan)
+            .unwrap()
+            .metrics
+            .iteration_time_s;
+        let t2 = session
+            .simulate(&second.plan)
+            .unwrap()
+            .metrics
+            .iteration_time_s;
+        assert!((t1 - t2).abs() < 1e-12);
+
+        let stats = session.stats();
+        assert_eq!(stats.requests, 2);
+        assert_eq!(stats.cache_hits, 1);
+        assert_eq!(stats.cache_misses, 1);
+        assert!((stats.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn repeated_shapes_plan_at_least_twice_as_fast_with_the_cache() {
+        let spec = zoo::vlm_s();
+        let cluster = ClusterSpec::h800_cluster(2);
+        // A repeated-shape trace: two distinct shapes, each seen four times.
+        let trace: Vec<PlanRequest> = (0..8)
+            .map(|i| request(if i % 2 == 0 { &[8, 32] } else { &[40, 4] }))
+            .collect();
+
+        let run = |config: SessionConfig| {
+            let mut s = session(&spec, &cluster, config);
+            let mut total = Duration::ZERO;
+            for req in &trace {
+                let outcome = s.plan(req).unwrap();
+                total += outcome.plan.stats.planning_time;
+            }
+            (total, s.stats())
+        };
+
+        let (cold_total, cold_stats) = run(SessionConfig::cold());
+        let (cached_total, cached_stats) = run(SessionConfig::default());
+
+        assert_eq!(cold_stats.cache_hits, 0);
+        assert_eq!(
+            cached_stats.cache_hits, 6,
+            "6 of 8 iterations repeat a shape"
+        );
+        assert!(
+            cached_total * 2 <= cold_total,
+            "cached {cached_total:?} vs cold {cold_total:?}"
+        );
+    }
+
+    #[test]
+    fn lru_eviction_respects_capacity() {
+        let spec = zoo::vlm_s();
+        let cluster = ClusterSpec::h800_cluster(2);
+        let config = SessionConfig {
+            cache_capacity: 1,
+            warm_start: true,
+        };
+        let mut session = session(&spec, &cluster, config);
+        let a = request(&[8, 32]);
+        let b = request(&[40, 4]);
+
+        assert!(!session.plan(&a).unwrap().cache_hit);
+        assert!(session.plan(&a).unwrap().cache_hit);
+        assert!(!session.plan(&b).unwrap().cache_hit, "b evicts a");
+        assert_eq!(session.cached_plans(), 1);
+        assert!(!session.plan(&a).unwrap().cache_hit, "a was evicted");
+        assert_eq!(session.stats().evictions, 2);
+    }
+
+    #[test]
+    fn warm_start_state_is_tracked_and_clearable() {
+        let spec = zoo::vlm_s();
+        let cluster = ClusterSpec::h800_cluster(2);
+        let mut session = session(&spec, &cluster, SessionConfig::default());
+
+        let first = session.plan(&request(&[8, 32])).unwrap();
+        assert!(!first.plan.stats.warm_started, "nothing to warm-start from");
+        let second = session.plan(&request(&[40, 4])).unwrap();
+        assert!(second.plan.stats.warm_started);
+        assert_eq!(session.stats().warm_started_plans, 1);
+
+        session.clear();
+        assert_eq!(session.cached_plans(), 0);
+        let third = session.plan(&request(&[40, 4])).unwrap();
+        assert!(!third.cache_hit);
+        assert!(!third.plan.stats.warm_started, "clear() resets the seed");
+    }
+
+    #[test]
+    fn re_partitioning_invalidates_the_cache() {
+        let spec = zoo::vlm_s();
+        let cluster = ClusterSpec::h800_cluster(2);
+        let mut session = session(&spec, &cluster, SessionConfig::default());
+        let req = request(&[10, 40]);
+        assert!(!session.plan(&req).unwrap().cache_hit);
+        assert!(session.plan(&req).unwrap().cache_hit);
+
+        // Re-running the offline phase changes the placement; plans cached
+        // against the old placement must not be served.
+        session.offline_partition(&vlm_batch(48)).unwrap();
+        assert_eq!(session.cached_plans(), 0);
+        let outcome = session.plan(&req).unwrap();
+        assert!(!outcome.cache_hit);
+        assert!(!outcome.plan.stats.warm_started, "seed was dropped too");
+    }
+
+    #[test]
+    fn empty_requests_are_rejected() {
+        let spec = zoo::vlm_s();
+        let cluster = ClusterSpec::h800_cluster(2);
+        let mut session = session(&spec, &cluster, SessionConfig::default());
+        let err = session.plan(&PlanRequest::default()).unwrap_err();
+        assert!(matches!(err, DipError::InvalidRequest(_)));
+        assert!(err.to_string().contains("zero microbatches"));
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let spec = zoo::vlm_s();
+        let cluster = ClusterSpec::h800_cluster(2);
+        let mut session = session(&spec, &cluster, SessionConfig::cold());
+        let req = request(&[8, 32]);
+        assert!(!session.plan(&req).unwrap().cache_hit);
+        assert!(!session.plan(&req).unwrap().cache_hit);
+        assert_eq!(session.cached_plans(), 0);
+    }
+}

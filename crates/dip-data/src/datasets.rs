@@ -114,9 +114,7 @@ impl DatasetModel {
                     videos: Vec::new(),
                 }
             }
-            DatasetKind::ShareGpt4Video => {
-                self.video_sample(rng, 40.0, 0.35, 10.0, 70.0)
-            }
+            DatasetKind::ShareGpt4Video => self.video_sample(rng, 40.0, 0.35, 10.0, 70.0),
             DatasetKind::InternVid => self.video_sample(rng, 8.0, 0.55, 1.0, 30.0),
             DatasetKind::MmTrail2M => self.video_sample(rng, 20.0, 0.45, 3.0, 55.0),
         }
@@ -209,10 +207,7 @@ impl DatasetMix {
     /// Creates a mixture from `(dataset, weight)` pairs. Weights need not sum
     /// to one; they are normalised internally. Non-positive weights are dropped.
     pub fn new(components: impl IntoIterator<Item = (DatasetKind, f64)>) -> Self {
-        let components: Vec<_> = components
-            .into_iter()
-            .filter(|(_, w)| *w > 0.0)
-            .collect();
+        let components: Vec<_> = components.into_iter().filter(|(_, w)| *w > 0.0).collect();
         Self { components }
     }
 

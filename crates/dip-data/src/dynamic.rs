@@ -116,6 +116,62 @@ impl DynamicWorkloadController {
             batch,
         })
     }
+
+    /// Drains the remaining iterations into a replayable [`WorkloadTrace`].
+    pub fn collect_trace(&mut self) -> WorkloadTrace {
+        let mut iterations = Vec::new();
+        while let Some(iteration) = self.next_iteration() {
+            iterations.push(iteration);
+        }
+        WorkloadTrace { iterations }
+    }
+}
+
+/// A recorded sequence of controlled iterations that can be replayed.
+///
+/// Training epochs (and the paper's repeated rise-and-fall envelope) revisit
+/// the same workload shapes; replaying a recorded trace reproduces the exact
+/// microbatch workloads — and therefore the exact workload signatures — of
+/// the original pass, which is what lets a
+/// `dip_core`-style planning session serve repeated iterations from its plan
+/// cache.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct WorkloadTrace {
+    iterations: Vec<ControlledIteration>,
+}
+
+impl WorkloadTrace {
+    /// Builds a trace from explicit iterations.
+    pub fn new(iterations: Vec<ControlledIteration>) -> Self {
+        Self { iterations }
+    }
+
+    /// Number of recorded iterations.
+    pub fn len(&self) -> usize {
+        self.iterations.len()
+    }
+
+    /// True when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.iterations.is_empty()
+    }
+
+    /// The recorded iterations, in order.
+    pub fn iter(&self) -> impl Iterator<Item = &ControlledIteration> + '_ {
+        self.iterations.iter()
+    }
+
+    /// Replays the trace `repeats` times, renumbering the iteration indices
+    /// consecutively across passes. The workloads of pass `r > 0` are
+    /// identical to pass 0.
+    pub fn replay(&self, repeats: usize) -> impl Iterator<Item = ControlledIteration> + '_ {
+        let len = self.len();
+        (0..repeats.saturating_mul(len)).map(move |i| {
+            let mut iteration = self.iterations[i % len].clone();
+            iteration.iteration = i;
+            iteration
+        })
+    }
 }
 
 /// One iteration produced by the [`DynamicWorkloadController`].
@@ -165,10 +221,31 @@ mod tests {
     }
 
     #[test]
+    fn collected_traces_replay_identical_workloads() {
+        let generator = BatchGenerator::vlm(DatasetMix::vlm_default(), 4, 3);
+        let mut controller = DynamicWorkloadController::new(
+            generator,
+            ImageBoundSchedule::new(vec![(0, 8), (4, 16), (0, 4)]),
+        );
+        let trace = controller.collect_trace();
+        assert_eq!(trace.len(), 3);
+        assert!(!trace.is_empty());
+
+        let replayed: Vec<_> = trace.replay(2).collect();
+        assert_eq!(replayed.len(), 6);
+        for (i, iteration) in replayed.iter().enumerate() {
+            assert_eq!(iteration.iteration, i, "indices renumbered across passes");
+            let original = &replayed[i % 3];
+            assert_eq!(iteration.batch.workloads(), original.batch.workloads());
+            assert_eq!(iteration.bounds, original.bounds);
+        }
+        assert_eq!(WorkloadTrace::default().replay(5).count(), 0);
+    }
+
+    #[test]
     fn controller_walks_the_schedule_and_respects_bounds() {
         let generator = BatchGenerator::vlm(DatasetMix::vlm_default(), 4, 3);
-        let mut controller =
-            DynamicWorkloadController::new(generator, ImageBoundSchedule::fig8b());
+        let mut controller = DynamicWorkloadController::new(generator, ImageBoundSchedule::fig8b());
         let mut count = 0;
         let mut peak_avg: f64 = 0.0;
         while let Some(iter) = controller.next_iteration() {

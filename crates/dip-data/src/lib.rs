@@ -34,7 +34,9 @@ mod packing;
 mod sample;
 
 pub use datasets::{DatasetKind, DatasetMix, DatasetModel, DatasetStats};
-pub use dynamic::{DynamicWorkloadController, ImageBoundSchedule};
+pub use dynamic::{
+    ControlledIteration, DynamicWorkloadController, ImageBoundSchedule, WorkloadTrace,
+};
 pub use generator::{BatchGenerator, TrainingBatch};
 pub use packing::{pack_t2v, pack_vlm, Microbatch, T2vPackingConfig, VlmPackingConfig};
 pub use sample::{DataSample, ImageInstance, VideoClip};

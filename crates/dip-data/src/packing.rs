@@ -126,9 +126,7 @@ pub fn pack_vlm(samples: &[DataSample], config: &VlmPackingConfig) -> Vec<Microb
         while sample.num_images() as u64 > config.max_images {
             sample.images.pop();
         }
-        let max_text = config
-            .context_length
-            .saturating_sub(sample.image_tokens());
+        let max_text = config.context_length.saturating_sub(sample.image_tokens());
         if sample.text_tokens > max_text {
             sample.text_tokens = max_text;
         }

@@ -56,7 +56,10 @@ impl fmt::Display for ModelError {
                 write!(f, "unknown module `{module}`")
             }
             ModelError::MultipleBackbones => {
-                write!(f, "model specification declares more than one backbone module")
+                write!(
+                    f,
+                    "model specification declares more than one backbone module"
+                )
             }
             ModelError::IndivisibleTensorParallel { num_heads, tp } => write!(
                 f,

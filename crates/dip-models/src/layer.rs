@@ -76,8 +76,8 @@ impl TransformerLayer {
         let invalid = num_heads == 0
             || num_kv_groups == 0
             || embed_dim == 0
-            || embed_dim % num_heads != 0
-            || num_heads % num_kv_groups != 0;
+            || !embed_dim.is_multiple_of(num_heads)
+            || !num_heads.is_multiple_of(num_kv_groups);
         if invalid {
             return Err(ModelError::InvalidHeads {
                 embed_dim,
@@ -249,7 +249,8 @@ impl AdapterLayer {
 
     /// Forward FLOPs over `tokens` tokens.
     pub fn fwd_flops(&self, tokens: u64) -> f64 {
-        2.0 * tokens as f64 * (self.in_dim * self.hidden_dim + self.hidden_dim * self.out_dim) as f64
+        2.0 * tokens as f64
+            * (self.in_dim * self.hidden_dim + self.hidden_dim * self.out_dim) as f64
     }
 }
 
@@ -419,7 +420,8 @@ mod tests {
     #[test]
     fn causal_attention_halves_score_flops() {
         let causal = TransformerLayer::new(4096, 14336, 32, 32, TransformerKind::CausalLm).unwrap();
-        let bidir = TransformerLayer::new(4096, 14336, 32, 32, TransformerKind::VitEncoder).unwrap();
+        let bidir =
+            TransformerLayer::new(4096, 14336, 32, 32, TransformerKind::VitEncoder).unwrap();
         // The bidirectional ViT layer has a non-gated MLP, so compare only the
         // attention term indirectly: with very long sequences the quadratic
         // term dominates and the causal layer must be cheaper.

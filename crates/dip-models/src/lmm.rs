@@ -112,7 +112,9 @@ impl LmmSpec {
 
     /// The backbone module, if any.
     pub fn backbone(&self) -> Option<&ModalityModule> {
-        self.modules.iter().find(|m| m.role() == ModuleRole::Backbone)
+        self.modules
+            .iter()
+            .find(|m| m.role() == ModuleRole::Backbone)
     }
 
     /// The id of the backbone module, if any.

@@ -82,8 +82,7 @@ mod tests {
 
     #[test]
     fn modality_names_are_distinct() {
-        let names: std::collections::HashSet<_> =
-            Modality::ALL.iter().map(|m| m.name()).collect();
+        let names: std::collections::HashSet<_> = Modality::ALL.iter().map(|m| m.name()).collect();
         assert_eq!(names.len(), Modality::ALL.len());
     }
 

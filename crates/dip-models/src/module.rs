@@ -1,6 +1,4 @@
-use crate::{
-    LayerCost, LayerSpec, Modality, ModalityWorkload, ModelError, ModuleRole, BF16_BYTES,
-};
+use crate::{LayerCost, LayerSpec, Modality, ModalityWorkload, ModelError, ModuleRole, BF16_BYTES};
 use serde::{Deserialize, Serialize};
 
 /// A modality module of an LMM: an encoder, backbone, decoder or adapter
@@ -150,8 +148,13 @@ mod tests {
         let layer = LayerSpec::Transformer(
             TransformerLayer::new(1024, 4096, 16, 16, TransformerKind::VitEncoder).unwrap(),
         );
-        ModalityModule::new("vit-test", Modality::Image, ModuleRole::Encoder, vec![layer; 4])
-            .unwrap()
+        ModalityModule::new(
+            "vit-test",
+            Modality::Image,
+            ModuleRole::Encoder,
+            vec![layer; 4],
+        )
+        .unwrap()
     }
 
     #[test]

@@ -46,19 +46,17 @@ pub fn simulate_fsdp(
     // the forward and again for the backward, plus a gradient reduce-scatter.
     let param_bytes = ctx.spec.param_count() * BF16_BYTES;
     let collective_bytes = 3 * param_bytes;
-    let comm_time = ctx.timing.allreduce_latency(
-        collective_bytes,
-        num_gpus,
-        ctx.cluster.gpu.net_bandwidth,
-    );
+    let comm_time =
+        ctx.timing
+            .allreduce_latency(collective_bytes, num_gpus, ctx.cluster.gpu.net_bandwidth);
     let exposed_comm = comm_time * EXPOSED_COMM_FRACTION;
 
     // Optimizer step over the local parameter shard.
-    let optimizer =
-        ctx.timing.optimizer_step_latency(param_bytes / num_gpus as u64);
+    let optimizer = ctx
+        .timing
+        .optimizer_step_latency(param_bytes / num_gpus as u64);
 
-    let iteration_time =
-        local_microbatches * (per_microbatch_compute + exposed_comm) + optimizer;
+    let iteration_time = local_microbatches * (per_microbatch_compute + exposed_comm) + optimizer;
 
     // Peak memory: sharded static state + one microbatch of activations with
     // full recomputation disabled (FSDP2 re-shards after forward, so only the
@@ -103,7 +101,11 @@ mod tests {
         let ctx = BaselineContext::new(&spec, ParallelConfig::new(4, 4, 1), &cluster);
         let metrics = simulate_fsdp(&ctx, &batches(16));
         assert!(metrics.iteration_time_s > 0.0);
-        assert!(metrics.mfu > 0.05 && metrics.mfu < 0.9, "MFU {}", metrics.mfu);
+        assert!(
+            metrics.mfu > 0.05 && metrics.mfu < 0.9,
+            "MFU {}",
+            metrics.mfu
+        );
     }
 
     #[test]

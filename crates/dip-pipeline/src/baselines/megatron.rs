@@ -27,8 +27,7 @@ pub fn simulate_megatron(
     let placement = balanced_param_placement(ctx.spec, ctx.parallel, virtual_chunks.max(1));
     placement.validate(ctx.spec)?;
 
-    let builder = StageGraphBuilder::new(ctx.spec, &placement, ctx.cluster)
-        .with_timing(ctx.timing);
+    let builder = StageGraphBuilder::new(ctx.spec, &placement, ctx.cluster).with_timing(ctx.timing);
     let plan = SubMicrobatchPlan::uniform(placement.segments.len(), microbatches.len());
     let graph = builder.build(microbatches, &plan)?;
 

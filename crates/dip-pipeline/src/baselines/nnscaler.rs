@@ -13,7 +13,7 @@ use crate::dual_queue::{schedule, DualQueueConfig};
 use crate::executor::{execute, ExecutionOutcome, ExecutorConfig};
 use crate::graph::{StageGraphBuilder, SubMicrobatchPlan};
 use crate::partition::balanced_latency_placement;
-use crate::placement::{Placement, PipelineError};
+use crate::placement::{PipelineError, Placement};
 use dip_models::BatchWorkload;
 
 /// Pre-generates nnScaler*'s static placement from a representative workload.
@@ -43,8 +43,7 @@ pub fn simulate_nnscaler(
     microbatches: &[BatchWorkload],
 ) -> Result<ExecutionOutcome, PipelineError> {
     placement.validate(ctx.spec)?;
-    let builder = StageGraphBuilder::new(ctx.spec, placement, ctx.cluster)
-        .with_timing(ctx.timing);
+    let builder = StageGraphBuilder::new(ctx.spec, placement, ctx.cluster).with_timing(ctx.timing);
     let plan = SubMicrobatchPlan::uniform(placement.segments.len(), microbatches.len());
     let graph = builder.build(microbatches, &plan)?;
 

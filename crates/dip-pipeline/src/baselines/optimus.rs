@@ -39,8 +39,7 @@ pub fn simulate_optimus(
     let placement = separated_placement(ctx.spec, ctx.parallel, &BTreeMap::new());
     placement.validate(ctx.spec)?;
 
-    let builder = StageGraphBuilder::new(ctx.spec, &placement, ctx.cluster)
-        .with_timing(ctx.timing);
+    let builder = StageGraphBuilder::new(ctx.spec, &placement, ctx.cluster).with_timing(ctx.timing);
     let plan = SubMicrobatchPlan::uniform(placement.segments.len(), microbatches.len());
     let graph = builder.build(microbatches, &plan)?;
 
@@ -110,7 +109,10 @@ mod tests {
         let cluster = ClusterSpec::h800_cluster(2);
         let ctx = BaselineContext::new(&spec, ParallelConfig::new(4, 4, 1), &cluster);
         let counts = [2u64, 40, 10, 30, 0, 44, 16, 24, 4, 36, 20, 12, 8, 28, 48, 1];
-        let batches: Vec<BatchWorkload> = counts.iter().map(|&i| vlm_batches(1, i)[0].clone()).collect();
+        let batches: Vec<BatchWorkload> = counts
+            .iter()
+            .map(|&i| vlm_batches(1, i)[0].clone())
+            .collect();
         let optimus = simulate_optimus(&ctx, &batches).unwrap();
         let megatron = simulate_megatron(&ctx, &batches, 1).unwrap();
         assert!(

@@ -102,13 +102,8 @@ impl PartialOrd for QueueEntry {
 pub fn schedule(graph: &StageGraph, config: &DualQueueConfig) -> (RankOrders, f64) {
     let n = graph.items.len();
     let num_ranks = graph.num_ranks;
-    let priority_of = |segment: usize| -> i64 {
-        config
-            .segment_priorities
-            .get(segment)
-            .copied()
-            .unwrap_or(0)
-    };
+    let priority_of =
+        |segment: usize| -> i64 { config.segment_priorities.get(segment).copied().unwrap_or(0) };
 
     // Dependency bookkeeping.
     let mut remaining_deps: Vec<usize> = graph.items.iter().map(|i| i.deps.len()).collect();
@@ -133,9 +128,9 @@ pub fn schedule(graph: &StageGraph, config: &DualQueueConfig) -> (RankOrders, f6
     let mut scheduled = vec![false; n];
 
     let push_entry = |queues_f: &mut Vec<BinaryHeap<QueueEntry>>,
-                          queues_b: &mut Vec<BinaryHeap<QueueEntry>>,
-                          ready: &[f64],
-                          idx: usize| {
+                      queues_b: &mut Vec<BinaryHeap<QueueEntry>>,
+                      ready: &[f64],
+                      idx: usize| {
         let item = &graph.items[idx];
         let entry = QueueEntry {
             priority: priority_of(item.segment),
@@ -166,13 +161,7 @@ pub fn schedule(graph: &StageGraph, config: &DualQueueConfig) -> (RankOrders, f6
         // then execute the one that can start earliest overall.
         let mut best: Option<(f64, usize, StageId, bool)> = None; // (start, rank, id, relaxed)
         for rank in 0..num_ranks {
-            let fwd_allowed = forward_allowed(
-                rank,
-                &mem_used,
-                &inflight,
-                config,
-                &fwd_queues,
-            );
+            let fwd_allowed = forward_allowed(rank, &mem_used, &inflight, config, &fwd_queues);
             let choice = pick_for_rank(
                 &fwd_queues[rank],
                 &bwd_queues[rank],
@@ -330,8 +319,7 @@ mod tests {
         let placement = balanced_param_placement(&spec, parallel, 1);
         let cluster = ClusterSpec::h800_cluster(1);
         let builder = StageGraphBuilder::new(&spec, &placement, &cluster);
-        let batch = BatchWorkload::new()
-            .with(Modality::Text, ModalityWorkload::from_tokens(8192));
+        let batch = BatchWorkload::new().with(Modality::Text, ModalityWorkload::from_tokens(8192));
         let batches = vec![batch; num_microbatches];
         let plan = SubMicrobatchPlan::uniform(placement.segments.len(), batches.len());
         builder.build(&batches, &plan).unwrap()
@@ -423,8 +411,7 @@ mod tests {
         let placement = balanced_param_placement(&spec, parallel, 2);
         let cluster = ClusterSpec::h800_cluster(1);
         let builder = StageGraphBuilder::new(&spec, &placement, &cluster);
-        let batch = BatchWorkload::new()
-            .with(Modality::Text, ModalityWorkload::from_tokens(8192));
+        let batch = BatchWorkload::new().with(Modality::Text, ModalityWorkload::from_tokens(8192));
         let batches = vec![batch; 4];
         let plan = SubMicrobatchPlan::uniform(placement.segments.len(), batches.len());
         let graph = builder.build(&batches, &plan).unwrap();
@@ -446,8 +433,7 @@ mod tests {
         // Data dependencies still force segment 0 of a microbatch before
         // segment 1, but boosting segment 1 should not *delay* it.
         assert!(
-            first_pos_of_segment(&boosted_orders, 1)
-                <= first_pos_of_segment(&default_orders, 1)
+            first_pos_of_segment(&boosted_orders, 1) <= first_pos_of_segment(&default_orders, 1)
         );
     }
 }

@@ -169,8 +169,7 @@ mod tests {
         let placement = balanced_param_placement(&spec, parallel, 1);
         let cluster = ClusterSpec::h800_cluster(1);
         let builder = StageGraphBuilder::new(&spec, &placement, &cluster);
-        let batch = BatchWorkload::new()
-            .with(Modality::Text, ModalityWorkload::from_tokens(8192));
+        let batch = BatchWorkload::new().with(Modality::Text, ModalityWorkload::from_tokens(8192));
         let batches = vec![batch; num_microbatches];
         let plan = SubMicrobatchPlan::uniform(placement.segments.len(), batches.len());
         let graph = builder.build(&batches, &plan).unwrap();
@@ -205,9 +204,15 @@ mod tests {
         let (graph_large, ..) = setup(16);
         let run = |g: &StageGraph| {
             let (orders, _) = schedule(g, &DualQueueConfig::default());
-            execute(g, &orders, &cluster, &timing, &ExecutorConfig::new(parallel))
-                .unwrap()
-                .metrics
+            execute(
+                g,
+                &orders,
+                &cluster,
+                &timing,
+                &ExecutorConfig::new(parallel),
+            )
+            .unwrap()
+            .metrics
         };
         let small = run(&graph_small);
         let large = run(&graph_large);

@@ -168,9 +168,7 @@ impl StageGraph {
 
     /// The theoretical minimum iteration time: the busiest rank's total work.
     pub fn critical_rank_time(&self) -> f64 {
-        self.compute_time_per_rank()
-            .into_iter()
-            .fold(0.0, f64::max)
+        self.compute_time_per_rank().into_iter().fold(0.0, f64::max)
     }
 }
 
@@ -233,7 +231,9 @@ impl<'a> StageGraphBuilder<'a> {
         let pp = parallel.pp;
         let segments = &self.placement.segments;
         if segments.is_empty() {
-            return Err(PipelineError::InvalidConfig("placement has no segments".into()));
+            return Err(PipelineError::InvalidConfig(
+                "placement has no segments".into(),
+            ));
         }
         // Validate split consistency between consecutive same-module segments.
         for s in 1..segments.len() {
@@ -248,8 +248,7 @@ impl<'a> StageGraphBuilder<'a> {
 
         let same_node = self.adjacent_ranks_share_node(parallel);
         let mut items: Vec<WorkItem> = Vec::new();
-        let mut index: BTreeMap<(usize, usize, usize, usize), (StageId, StageId)> =
-            BTreeMap::new();
+        let mut index: BTreeMap<(usize, usize, usize, usize), (StageId, StageId)> = BTreeMap::new();
         let mut stage_pair = 0usize;
 
         // Pre-compute per-microbatch module workloads.
@@ -279,9 +278,8 @@ impl<'a> StageGraphBuilder<'a> {
                             .rev()
                             .find_map(|p| sub.get(&p.module).map(|w| w.tokens))
                             .unwrap_or(0);
-                        let p2p_bytes = out_tokens
-                            * chunk.output_dim(self.spec) as u64
-                            * BF16_BYTES;
+                        let p2p_bytes =
+                            out_tokens * chunk.output_dim(self.spec) as u64 * BF16_BYTES;
                         let base = self.timing.stage_timing(&cost, p2p_bytes);
                         let strategy: MemoryStrategy = self.memory_plan.get(stage_pair);
                         let adjusted: StageTiming = strategy.apply(&base);
@@ -529,8 +527,8 @@ mod tests {
         let placement = balanced_param_placement(&spec, parallel, 1);
         let cluster = cluster();
         let builder = StageGraphBuilder::new(&spec, &placement, &cluster);
-        let batches = vec![BatchWorkload::new()
-            .with(Modality::Text, ModalityWorkload::from_tokens(4096))];
+        let batches =
+            vec![BatchWorkload::new().with(Modality::Text, ModalityWorkload::from_tokens(4096))];
         let plan = SubMicrobatchPlan::uniform(1, 1);
         let graph = builder.build(&batches, &plan).unwrap();
         let (fwd, bwd) = graph.lookup(0, 0, 0, 1).unwrap();

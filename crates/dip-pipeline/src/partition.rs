@@ -158,17 +158,15 @@ pub fn balanced_latency_placement(
     timing: &TimingModel,
 ) -> Placement {
     let layers = flatten_layers(spec);
-    let workloads: BTreeMap<ModuleId, _> = spec
-        .module_workloads(representative)
-        .into_iter()
-        .collect();
+    let workloads: BTreeMap<ModuleId, _> =
+        spec.module_workloads(representative).into_iter().collect();
     let weights: Vec<f64> = layers
         .iter()
         .map(|gl| {
             let wl = workloads.get(&gl.module).copied().unwrap_or_default();
-            let cost = spec
-                .module(gl.module)
-                .cost_of_layers(gl.layer..gl.layer + 1, &wl, parallel.tp);
+            let cost =
+                spec.module(gl.module)
+                    .cost_of_layers(gl.layer..gl.layer + 1, &wl, parallel.tp);
             timing.forward_latency(&cost) + timing.backward_latency(&cost)
         })
         .collect();
@@ -193,9 +191,7 @@ pub fn separated_placement(
         let total_chunks = pp * k;
         let n = module.num_layers();
         // Equal split of n layers into total_chunks contiguous groups.
-        let bounds: Vec<usize> = (0..=total_chunks)
-            .map(|c| (c * n) / total_chunks)
-            .collect();
+        let bounds: Vec<usize> = (0..=total_chunks).map(|c| (c * n) / total_chunks).collect();
         for seg in 0..k {
             let chunks: Vec<ModelChunk> = (0..pp)
                 .map(|r| {
@@ -284,8 +280,7 @@ mod tests {
         by_latency.validate(&spec).unwrap();
 
         let spread = |p: &Placement| {
-            let workloads: BTreeMap<ModuleId, _> =
-                spec.module_workloads(&wl).into_iter().collect();
+            let workloads: BTreeMap<ModuleId, _> = spec.module_workloads(&wl).into_iter().collect();
             let times: Vec<f64> = p.segments[0]
                 .chunks
                 .iter()

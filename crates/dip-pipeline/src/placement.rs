@@ -174,7 +174,8 @@ impl ModelChunk {
             .iter()
             .map(|p| {
                 let wl = workloads.get(&p.module).copied().unwrap_or_default();
-                spec.module(p.module).cost_of_layers(p.layers.clone(), &wl, tp)
+                spec.module(p.module)
+                    .cost_of_layers(p.layers.clone(), &wl, tp)
             })
             .sum()
     }
@@ -186,9 +187,7 @@ impl ModelChunk {
             .iter()
             .rev()
             .find(|p| !p.layers.is_empty())
-            .map(|p| {
-                spec.module(p.module).layers()[p.layers.end - 1].output_dim()
-            })
+            .map(|p| spec.module(p.module).layers()[p.layers.end - 1].output_dim())
             .unwrap_or(0)
     }
 }

@@ -33,8 +33,11 @@ pub fn mean_accuracy(samples: &[CalibrationSample]) -> f64 {
     if samples.is_empty() {
         return 0.0;
     }
-    let mean_err: f64 =
-        samples.iter().map(CalibrationSample::relative_error).sum::<f64>() / samples.len() as f64;
+    let mean_err: f64 = samples
+        .iter()
+        .map(CalibrationSample::relative_error)
+        .sum::<f64>()
+        / samples.len() as f64;
     (1.0 - mean_err).max(0.0)
 }
 

@@ -317,7 +317,8 @@ impl SimEngine {
         for (i, t) in self.tasks.iter().enumerate() {
             let rank = &mut ranks[t.rank];
             rank.busy_s += t.duration;
-            rank.tasks.push((TaskId(i), records[i].start, records[i].end));
+            rank.tasks
+                .push((TaskId(i), records[i].start, records[i].end));
         }
         for rank in &mut ranks {
             rank.tasks
@@ -406,9 +407,7 @@ mod tests {
     fn memory_timeline_tracks_allocations_and_peak() {
         let mut e = SimEngine::new(1);
         e.set_static_memory(0, 100);
-        let f = e.add_task(
-            Task::compute(0, 1.0, TaskKind::Forward).with_memory(50, 0),
-        );
+        let f = e.add_task(Task::compute(0, 1.0, TaskKind::Forward).with_memory(50, 0));
         let _b = e.add_task(
             Task::compute(0, 1.0, TaskKind::Backward)
                 .after(f, 0.0)
@@ -458,9 +457,7 @@ mod tests {
     #[test]
     fn labels_and_kinds_are_preserved() {
         let mut e = SimEngine::new(1);
-        let id = e.add_task(
-            Task::compute(0, 1.0, TaskKind::Optimizer).with_label("opt step"),
-        );
+        let id = e.add_task(Task::compute(0, 1.0, TaskKind::Optimizer).with_label("opt step"));
         assert_eq!(e.num_tasks(), 1);
         assert_eq!(id, TaskId(0));
         assert_eq!(e.num_ranks(), 1);

@@ -112,7 +112,8 @@ impl GroupChoiceProblem {
         for group in &self.groups {
             let mut best: Option<usize> = None;
             for (idx, cand) in group.iter().enumerate() {
-                let fits = (0..self.capacities.len()).all(|k| cand.weight(k) <= remaining[k] + 1e-9);
+                let fits =
+                    (0..self.capacities.len()).all(|k| cand.weight(k) <= remaining[k] + 1e-9);
                 if fits && best.is_none_or(|b| cand.cost < group[b].cost) {
                     best = Some(idx);
                 }
@@ -285,7 +286,7 @@ pub fn solve(problem: &GroupChoiceProblem, options: &SolveOptions) -> Solution {
     }];
 
     'search: while let Some(frame) = stack.last_mut() {
-        if nodes % 1024 == 0 && start.elapsed() > options.time_limit {
+        if nodes.is_multiple_of(1024) && start.elapsed() > options.time_limit {
             timed_out = true;
             break 'search;
         }
@@ -475,7 +476,11 @@ mod tests {
         p.add_group(vec![cand(1.0, &[10.0]), cand(5.0, &[4.0])]);
         let sol = solve(&p, &SolveOptions::default());
         assert_eq!(sol.status, SolveStatus::Optimal);
-        assert!((sol.objective - 4.0).abs() < 1e-9, "objective {}", sol.objective);
+        assert!(
+            (sol.objective - 4.0).abs() < 1e-9,
+            "objective {}",
+            sol.objective
+        );
         assert!(p.is_feasible(&sol.selection));
     }
 

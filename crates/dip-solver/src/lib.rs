@@ -21,5 +21,5 @@
 pub mod ilp;
 pub mod mckp;
 
-pub use ilp::{Candidate, GroupChoiceProblem, SolveOptions, SolveStatus, Solution};
-pub use mckp::{MckpItem, MckpSolution, solve_mckp};
+pub use ilp::{Candidate, GroupChoiceProblem, Solution, SolveOptions, SolveStatus};
+pub use mckp::{solve_mckp, MckpItem, MckpSolution};

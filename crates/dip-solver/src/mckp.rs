@@ -39,7 +39,11 @@ pub struct MckpSolution {
 /// into; weights are rounded *up* to the next bucket so the returned
 /// selection never violates the true capacity. A resolution of 1024–4096 is
 /// plenty for the memory ranges DIP deals with.
-pub fn solve_mckp(groups: &[Vec<MckpItem>], capacity: u64, resolution: usize) -> Option<MckpSolution> {
+pub fn solve_mckp(
+    groups: &[Vec<MckpItem>],
+    capacity: u64,
+    resolution: usize,
+) -> Option<MckpSolution> {
     if groups.is_empty() || groups.iter().any(Vec::is_empty) {
         return None;
     }
@@ -109,11 +113,7 @@ pub fn solve_mckp(groups: &[Vec<MckpItem>], capacity: u64, resolution: usize) ->
         .map(|(&i, g)| g[i].weight)
         .sum();
     Some(MckpSolution {
-        cost: selection
-            .iter()
-            .zip(groups)
-            .map(|(&i, g)| g[i].cost)
-            .sum(),
+        cost: selection.iter().zip(groups).map(|(&i, g)| g[i].cost).sum(),
         selection,
         weight,
     })
@@ -138,8 +138,8 @@ fn reconstruct(
         let mut next = vec![INF; num_buckets + 1];
         let mut choice = vec![usize::MAX; num_buckets + 1];
         let mut parent = vec![usize::MAX; num_buckets + 1];
-        for b in 0..=num_buckets {
-            if dp[b] == INF {
+        for (b, &base_cost) in dp.iter().enumerate() {
+            if base_cost == INF {
                 continue;
             }
             for (idx, item) in group.iter().enumerate() {
@@ -147,7 +147,7 @@ fn reconstruct(
                 if nb > num_buckets {
                     continue;
                 }
-                let cost = dp[b] + item.cost;
+                let cost = base_cost + item.cost;
                 if cost < next[nb] {
                     next[nb] = cost;
                     choice[nb] = idx;
@@ -251,7 +251,7 @@ mod tests {
             'outer: loop {
                 let weight: u64 = indices.iter().zip(&groups).map(|(&i, g)| g[i].weight).sum();
                 let cost: f64 = indices.iter().zip(&groups).map(|(&i, g)| g[i].cost).sum();
-                if weight <= capacity && best.map_or(true, |(bc, _)| cost < bc) {
+                if weight <= capacity && best.is_none_or(|(bc, _)| cost < bc) {
                     best = Some((cost, weight));
                 }
                 for k in (0..groups.len()).rev() {

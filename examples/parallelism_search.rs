@@ -4,7 +4,7 @@
 //!
 //! Run with: `cargo run --release --example parallelism_search`
 
-use dip_core::{DipPlanner, PlannerConfig};
+use dip_core::{PlanRequest, PlannerConfig, PlanningSession};
 use dip_data::{BatchGenerator, DatasetMix};
 use dip_models::zoo;
 use dip_pipeline::ParallelConfig;
@@ -14,7 +14,7 @@ fn main() {
     let spec = zoo::vlm_m();
     let cluster = ClusterSpec::h800_cluster(8);
     let mut generator = BatchGenerator::vlm(DatasetMix::vlm_default(), 8, 3);
-    let batches = generator.next_batch().workloads();
+    let request = PlanRequest::new(generator.next_batch().workloads());
 
     let mut results = Vec::new();
     for tp in [2usize, 4, 8] {
@@ -24,8 +24,11 @@ fn main() {
                 continue;
             }
             let parallel = ParallelConfig::new(tp, pp, dp);
-            let planner = DipPlanner::new(&spec, parallel, &cluster, PlannerConfig::fast());
-            match planner.plan_and_simulate(&batches) {
+            // One session per layout: the plan cache is keyed by workload
+            // signature, which is layout-independent.
+            let mut session =
+                PlanningSession::new(&spec, parallel, &cluster, PlannerConfig::fast());
+            match session.plan_and_simulate(&request) {
                 Ok((_, outcome)) => {
                     println!(
                         "{parallel}: {:.3} s/iter, MFU {:.3}, peak mem {:.1} GB",

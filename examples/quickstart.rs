@@ -1,9 +1,9 @@
-//! Quickstart: plan and simulate one VLM-S training iteration with DIP and
-//! compare it against Megatron-LM's 1F1B schedule.
+//! Quickstart: plan and simulate VLM-S training iterations with DIP's
+//! planning session and compare them against Megatron-LM's 1F1B schedule.
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use dip_core::{DipPlanner, PlannerConfig};
+use dip_core::{PlanRequest, PlannerConfig, PlanningSession};
 use dip_models::{zoo, BatchWorkload, Modality, ModalityWorkload};
 use dip_pipeline::baselines::{simulate_megatron, BaselineContext};
 use dip_pipeline::ParallelConfig;
@@ -11,7 +11,10 @@ use dip_sim::ClusterSpec;
 
 fn vlm_batch(images: u64) -> BatchWorkload {
     BatchWorkload::new()
-        .with(Modality::Text, ModalityWorkload::new(8192 - images * 169, 1))
+        .with(
+            Modality::Text,
+            ModalityWorkload::new(8192 - images * 169, 1),
+        )
         .with(Modality::Image, ModalityWorkload::new(images * 169, images))
 }
 
@@ -32,20 +35,54 @@ fn main() {
     let ctx = BaselineContext::new(&spec, parallel, &cluster);
     let megatron = simulate_megatron(&ctx, &batches, 1).expect("baseline simulation");
 
-    // DIP: modality-aware partitioning + schedule search + memory optimisation.
-    let planner = DipPlanner::new(&spec, parallel, &cluster, PlannerConfig::fast());
-    let (plan, dip) = planner.plan_and_simulate(&batches).expect("DIP planning");
+    // DIP: a planning session over the modality-aware partitioner, schedule
+    // search and memory optimisation. Sessions cache plans by workload
+    // signature, so re-planning a repeated shape is (nearly) free.
+    let mut session = PlanningSession::new(&spec, parallel, &cluster, PlannerConfig::fast());
+    let request = PlanRequest::new(batches.clone());
+    let (outcome, dip) = session.plan_and_simulate(&request).expect("DIP planning");
+    let plan = &outcome.plan;
 
-    println!("model: {} ({:.1}B parameters)", spec.name(), spec.param_billions());
-    println!("microbatches: {} | pipeline segments: {}", batches.len(), plan.segment_priorities.len());
+    println!(
+        "model: {} ({:.1}B parameters)",
+        spec.name(),
+        spec.param_billions()
+    );
+    println!(
+        "microbatches: {} | pipeline segments: {} | workload signature: {}",
+        batches.len(),
+        plan.segment_priorities.len(),
+        outcome.signature
+    );
     println!();
-    println!("Megatron-LM : {:.3} s/iter | MFU {:.3} | bubble {:.1}%",
-        megatron.metrics.iteration_time_s, megatron.metrics.mfu, megatron.metrics.bubble_fraction * 100.0);
-    println!("DIP         : {:.3} s/iter | MFU {:.3} | bubble {:.1}%",
-        dip.metrics.iteration_time_s, dip.metrics.mfu, dip.metrics.bubble_fraction * 100.0);
+    println!(
+        "Megatron-LM : {:.3} s/iter | MFU {:.3} | bubble {:.1}%",
+        megatron.metrics.iteration_time_s,
+        megatron.metrics.mfu,
+        megatron.metrics.bubble_fraction * 100.0
+    );
+    println!(
+        "DIP         : {:.3} s/iter | MFU {:.3} | bubble {:.1}%",
+        dip.metrics.iteration_time_s,
+        dip.metrics.mfu,
+        dip.metrics.bubble_fraction * 100.0
+    );
     println!();
-    println!("DIP throughput gain: {:.1}%  (planning took {:.0} ms, {} schedules evaluated)",
+    println!(
+        "DIP throughput gain: {:.1}%  (planning took {:.0} ms, {} schedules evaluated)",
         dip.metrics.speedup_percent_over(&megatron.metrics),
         plan.stats.planning_time.as_secs_f64() * 1e3,
-        plan.stats.search_evaluations);
+        plan.stats.search_evaluations
+    );
+
+    // The next iteration repeats the shape: served from the plan cache.
+    let (repeat, _) = session
+        .plan_and_simulate(&request)
+        .expect("cached planning");
+    println!(
+        "repeated shape: cache {} in {:.3} ms (session hit rate {:.0}%)",
+        if repeat.cache_hit { "hit" } else { "miss" },
+        repeat.plan.stats.planning_time.as_secs_f64() * 1e3,
+        session.stats().hit_rate() * 100.0
+    );
 }

@@ -3,7 +3,7 @@
 //!
 //! Run with: `cargo run --release --example t2v_training`
 
-use dip_core::{DipPlanner, PlannerConfig};
+use dip_core::{PlanRequest, PlannerConfig, PlanningSession};
 use dip_data::{BatchGenerator, DatasetMix};
 use dip_models::zoo;
 use dip_pipeline::baselines::{simulate_megatron, BaselineContext};
@@ -16,16 +16,22 @@ fn main() {
     let parallel = ParallelConfig::new(4, 4, 1);
 
     let mut generator = BatchGenerator::t2v(DatasetMix::t2v_default(), 8, 7);
-    let planner = DipPlanner::new(&spec, parallel, &cluster, PlannerConfig::fast());
+    let mut session = PlanningSession::new(&spec, parallel, &cluster, PlannerConfig::fast());
     let ctx = BaselineContext::new(&spec, parallel, &cluster);
 
-    println!("model: {} ({:.1}B parameters)", spec.name(), spec.param_billions());
+    println!(
+        "model: {} ({:.1}B parameters)",
+        spec.name(),
+        spec.param_billions()
+    );
     let mut dip_total = 0.0;
     let mut megatron_total = 0.0;
     for iter in 0..4 {
         let batches = generator.next_batch().workloads();
         let megatron = simulate_megatron(&ctx, &batches, 1).unwrap().metrics;
-        let (_, dip) = planner.plan_and_simulate(&batches).unwrap();
+        let (_, dip) = session
+            .plan_and_simulate(&PlanRequest::new(batches))
+            .unwrap();
         println!(
             "iter {iter}: Megatron-LM {:.3} s | DIP {:.3} s | DIP gain {:+.1}%",
             megatron.iteration_time_s,
@@ -41,5 +47,13 @@ fn main() {
         dip_total / 4.0,
         megatron_total / 4.0,
         (megatron_total / dip_total - 1.0) * 100.0
+    );
+    let stats = session.stats();
+    println!(
+        "planner: {} plans ({} warm-started), search {:.0} ms, memory opt {:.0} ms",
+        stats.requests,
+        stats.warm_started_plans,
+        stats.search_time.as_secs_f64() * 1e3,
+        stats.memopt_time.as_secs_f64() * 1e3,
     );
 }

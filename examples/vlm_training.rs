@@ -25,7 +25,9 @@ fn main() {
 
     // Prefetch metadata for the first iteration.
     let mut next_batches = generator.next_batch().workloads();
-    planner.offline_partition(&next_batches[0]);
+    planner
+        .offline_partition(&next_batches[0])
+        .expect("offline partitioning");
 
     let mut total_time = 0.0;
     let mut total_flops = 0.0;

@@ -1,0 +1,134 @@
+//! Integration tests of the planning-session layer over dynamic workload
+//! traces: repeated workload signatures are served from the plan cache,
+//! total planning time over a repeated-shape trace drops by at least 2×
+//! versus cold planning, and cached plans simulate to identical iteration
+//! times.
+
+use dip_core::{PlanRequest, PlannerConfig, PlanningSession, SessionConfig, WorkloadSignature};
+use dip_data::{BatchGenerator, DatasetMix, DynamicWorkloadController, ImageBoundSchedule};
+use dip_models::zoo;
+use dip_pipeline::ParallelConfig;
+use dip_sim::ClusterSpec;
+use std::time::Duration;
+
+/// A short repeated-shape dynamic trace: one recorded pass over a
+/// rise-and-fall envelope, replayed `passes` times (as in `fig8b_dynamic`).
+fn replayed_requests(iterations_per_pass: usize, passes: usize) -> Vec<PlanRequest> {
+    let generator = BatchGenerator::vlm(DatasetMix::vlm_default(), 4, 8);
+    let mut controller = DynamicWorkloadController::new(
+        generator,
+        ImageBoundSchedule::new(
+            ImageBoundSchedule::fig8b()
+                .iter()
+                .take(iterations_per_pass)
+                .collect(),
+        ),
+    );
+    let trace = controller.collect_trace();
+    trace
+        .replay(passes)
+        .map(|iteration| PlanRequest::new(iteration.batch.workloads()))
+        .collect()
+}
+
+fn planner_config() -> PlannerConfig {
+    let mut config = PlannerConfig::fast();
+    config.search.time_budget = Duration::from_millis(80);
+    config.search.workers = 2;
+    config
+}
+
+#[test]
+fn second_pass_over_a_replayed_trace_is_served_from_the_cache() {
+    let spec = zoo::vlm_s();
+    let cluster = ClusterSpec::h800_cluster(2);
+    let parallel = ParallelConfig::new(4, 4, 1);
+    let requests = replayed_requests(4, 2);
+
+    let mut session = PlanningSession::new(&spec, parallel, &cluster, planner_config());
+    let mut first_pass = Vec::new();
+    for (i, request) in requests.iter().enumerate() {
+        let (outcome, execution) = session.plan_and_simulate(request).unwrap();
+        if i < 4 {
+            assert!(!outcome.cache_hit, "pass 1 iteration {i} must be a miss");
+            first_pass.push((outcome.signature, execution.metrics.iteration_time_s));
+        } else {
+            let (signature, time) = first_pass[i - 4];
+            assert!(outcome.cache_hit, "pass 2 iteration {i} must hit the cache");
+            assert_eq!(outcome.signature, signature);
+            // Identical plans simulate to identical iteration times.
+            assert!(
+                (execution.metrics.iteration_time_s - time).abs() < 1e-12,
+                "iteration {i}: {} vs {}",
+                execution.metrics.iteration_time_s,
+                time
+            );
+        }
+    }
+    let stats = session.stats();
+    assert_eq!(stats.requests, 8);
+    assert_eq!(stats.cache_hits, 4);
+    assert_eq!(stats.cache_misses, 4);
+}
+
+#[test]
+fn plan_cache_cuts_total_planning_time_at_least_2x_on_a_repeated_trace() {
+    let spec = zoo::vlm_s();
+    let cluster = ClusterSpec::h800_cluster(2);
+    let parallel = ParallelConfig::new(4, 4, 1);
+    // 3 shapes × 3 passes: 3 misses, 6 hits with the cache enabled.
+    let requests = replayed_requests(3, 3);
+
+    let total_planning = |session_config: SessionConfig| {
+        let mut session = PlanningSession::with_config(
+            &spec,
+            parallel,
+            &cluster,
+            planner_config(),
+            session_config,
+        );
+        let mut total = Duration::ZERO;
+        for request in &requests {
+            total += session.plan(request).unwrap().plan.stats.planning_time;
+        }
+        total
+    };
+
+    let cold = total_planning(SessionConfig::cold());
+    let cached = total_planning(SessionConfig::default());
+    assert!(
+        cached * 2 <= cold,
+        "cached planning {cached:?} should be at least 2x faster than cold {cold:?}"
+    );
+}
+
+#[test]
+fn workload_signatures_of_a_replayed_trace_repeat_exactly() {
+    let requests = replayed_requests(5, 2);
+    let signatures: Vec<WorkloadSignature> = requests.iter().map(|r| r.signature()).collect();
+    assert_eq!(&signatures[..5], &signatures[5..]);
+    // Distinct envelope phases produce distinct signatures (the bounds
+    // change every iteration of the rise phase).
+    assert_ne!(signatures[0], signatures[1]);
+}
+
+#[test]
+fn warm_start_does_not_change_plan_validity_and_helps_the_incumbent() {
+    let spec = zoo::vlm_s();
+    let cluster = ClusterSpec::h800_cluster(2);
+    let parallel = ParallelConfig::new(4, 4, 1);
+    let requests = replayed_requests(4, 1);
+
+    let mut session = PlanningSession::new(&spec, parallel, &cluster, planner_config());
+    for (i, request) in requests.iter().enumerate() {
+        let outcome = session.plan(request).unwrap();
+        assert_eq!(outcome.plan.stats.warm_started, i > 0);
+        // Warm-started plans are still complete, valid schedules.
+        assert_eq!(
+            outcome.plan.orders.num_stages(),
+            outcome.plan.graph.items.len()
+        );
+        session.simulate(&outcome.plan).unwrap();
+    }
+    assert_eq!(session.stats().warm_started_plans, 3);
+}

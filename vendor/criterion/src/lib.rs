@@ -1,0 +1,182 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the API subset the workspace benches use — `Criterion`,
+//! benchmark groups, `BenchmarkId`, `criterion_group!`/`criterion_main!` —
+//! with a simple measure-and-print harness: each benchmark closure is warmed
+//! up, then timed `sample_size` times, and the mean / min wall time is
+//! printed. No statistics, plots or CLI filtering.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Benchmark driver (subset of `criterion::Criterion`).
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            sample_size: 10,
+            measurement_time: Duration::from_secs(3),
+            warm_up_time: Duration::from_millis(500),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the target measurement time (upper bound on total sampling).
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Sets the warm-up time before sampling starts.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Runs a single named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher::new(self.clone());
+        f(&mut bencher);
+        bencher.report(name);
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+        }
+    }
+}
+
+/// Identifier of one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// An id rendering the parameter value (`group/param`).
+    pub fn from_parameter<D: Display>(parameter: D) -> Self {
+        Self(parameter.to_string())
+    }
+
+    /// An id with a function name and a parameter (`group/name/param`).
+    pub fn new<D: Display>(name: &str, parameter: D) -> Self {
+        Self(format!("{name}/{parameter}"))
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Benchmarks `f` with the given input.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher::new(self.criterion.clone());
+        f(&mut bencher, input);
+        bencher.report(&format!("{}/{}", self.name, id.0));
+        self
+    }
+
+    /// Finishes the group (no-op; kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Timer handed to benchmark closures.
+pub struct Bencher {
+    config: Criterion,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    fn new(config: Criterion) -> Self {
+        Self {
+            config,
+            samples: Vec::new(),
+        }
+    }
+
+    /// Times `routine`: warm-up, then `sample_size` samples bounded by the
+    /// measurement time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let warm_until = Instant::now() + self.config.warm_up_time;
+        while Instant::now() < warm_until {
+            std::hint::black_box(routine());
+        }
+        let measure_until = Instant::now() + self.config.measurement_time;
+        for _ in 0..self.config.sample_size {
+            let start = Instant::now();
+            std::hint::black_box(routine());
+            self.samples.push(start.elapsed());
+            if Instant::now() >= measure_until {
+                break;
+            }
+        }
+    }
+
+    fn report(&self, name: &str) {
+        if self.samples.is_empty() {
+            println!("{name:<44} no samples");
+            return;
+        }
+        let total: Duration = self.samples.iter().sum();
+        let mean = total / self.samples.len() as u32;
+        let min = self.samples.iter().min().copied().unwrap_or_default();
+        println!(
+            "{name:<44} mean {:>10.3?}  min {:>10.3?}  ({} samples)",
+            mean,
+            min,
+            self.samples.len()
+        );
+    }
+}
+
+/// Declares a benchmark group function runnable from `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the `main` function running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,55 @@
+//! Offline stand-in for `crossbeam`'s scoped threads, backed by
+//! `std::thread::scope` (stable since Rust 1.63).
+//!
+//! Mirrors the `crossbeam::scope(|s| { s.spawn(|_| ...); })` API surface
+//! this workspace uses. One behavioural difference: a panicking spawned
+//! thread propagates its panic when the scope exits (std semantics) rather
+//! than being reported through the returned `Result`, which is therefore
+//! always `Ok` here.
+
+use std::any::Any;
+
+/// Scope handle passed to [`scope`]'s closure; spawn threads through it.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a scoped thread. The closure receives the scope again so it
+    /// can spawn nested threads, matching crossbeam's signature.
+    pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+    where
+        F: for<'a> FnOnce(&'a Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let inner = self.inner;
+        inner.spawn(move || f(&Scope { inner }))
+    }
+}
+
+/// Creates a scope in which threads borrowing from the environment can be
+/// spawned; all spawned threads are joined before `scope` returns.
+pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scoped_threads_can_borrow_from_the_stack() {
+        let counter = AtomicUsize::new(0);
+        scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|_| counter.fetch_add(1, Ordering::Relaxed));
+            }
+        })
+        .unwrap();
+        assert_eq!(counter.load(Ordering::Relaxed), 4);
+    }
+}
