@@ -36,9 +36,11 @@ pub struct ExperimentScale {
 
 impl ExperimentScale {
     /// Reads the scale from the `DIP_BENCH_SCALE` environment variable
-    /// (`quick` by default, `full` for paper-scale runs).
+    /// (`quick` by default, `full` for paper-scale runs). The worker count
+    /// can be overridden independently with `DIP_BENCH_WORKERS`, which the
+    /// CI smoke job uses to exercise the parallel planning path.
     pub fn from_env() -> Self {
-        match std::env::var("DIP_BENCH_SCALE").as_deref() {
+        let mut scale = match std::env::var("DIP_BENCH_SCALE").as_deref() {
             Ok("full") => Self {
                 microbatches: 32,
                 iterations: 10,
@@ -51,14 +53,20 @@ impl ExperimentScale {
                 search_ms: 300,
                 workers: 4,
             },
+        };
+        if let Some(workers) = std::env::var("DIP_BENCH_WORKERS")
+            .ok()
+            .and_then(|w| w.parse::<usize>().ok())
+        {
+            scale.workers = workers.max(1);
         }
+        scale
     }
 
     /// The planner configuration matching this scale.
     pub fn planner_config(&self) -> PlannerConfig {
-        let mut config = PlannerConfig::default();
+        let mut config = PlannerConfig::default().with_num_threads(self.workers);
         config.search.time_budget = Duration::from_millis(self.search_ms);
-        config.search.workers = self.workers;
         config
     }
 }
@@ -134,7 +142,7 @@ pub fn run_all_systems(
             metrics: outcome.metrics,
         });
     }
-    let mut session = PlanningSession::new(spec, parallel, cluster, scale.planner_config());
+    let session = PlanningSession::new(spec, parallel, cluster, scale.planner_config());
     if let Ok((_, outcome)) = session.plan_and_simulate(&PlanRequest::new(batches.to_vec())) {
         results.push(SystemResult {
             system: "DIP".into(),

@@ -40,6 +40,11 @@ pub enum DipError {
     /// The plan request itself was invalid (empty workloads, impossible
     /// configuration, ...).
     InvalidRequest(String),
+    /// A parallel-planning failure: a worker of
+    /// [`crate::PlanningSession::plan_many`] panicked while planning a
+    /// request (the panic is confined to that request's slot) or otherwise
+    /// terminated without reporting a result.
+    Concurrency(String),
 }
 
 impl DipError {
@@ -72,13 +77,18 @@ impl DipError {
         DipError::InvalidRequest(message.into())
     }
 
+    /// A parallel-planning failure.
+    pub fn concurrency(message: impl Into<String>) -> Self {
+        DipError::Concurrency(message.into())
+    }
+
     /// The planning phase the error is attributed to, if any.
     pub fn context(&self) -> Option<&str> {
         match self {
             DipError::Model { context, .. }
             | DipError::Pipeline { context, .. }
             | DipError::Solver { context, .. } => Some(context),
-            DipError::InvalidRequest(_) => None,
+            DipError::InvalidRequest(_) | DipError::Concurrency(_) => None,
         }
     }
 }
@@ -96,6 +106,7 @@ impl fmt::Display for DipError {
                 write!(f, "{context}: solver error: {message}")
             }
             DipError::InvalidRequest(message) => write!(f, "invalid plan request: {message}"),
+            DipError::Concurrency(message) => write!(f, "parallel planning failed: {message}"),
         }
     }
 }
@@ -105,7 +116,9 @@ impl Error for DipError {
         match self {
             DipError::Model { source, .. } => Some(source),
             DipError::Pipeline { source, .. } => Some(source),
-            DipError::Solver { .. } | DipError::InvalidRequest(_) => None,
+            DipError::Solver { .. } | DipError::InvalidRequest(_) | DipError::Concurrency(_) => {
+                None
+            }
         }
     }
 }
@@ -172,6 +185,15 @@ mod tests {
         assert_eq!(err.context(), Some("planning"));
         let err: DipError = ModelError::MultipleBackbones.into();
         assert!(matches!(err, DipError::Model { .. }));
+    }
+
+    #[test]
+    fn concurrency_errors_format_without_context_or_source() {
+        let err = DipError::concurrency("worker 3 reported no result");
+        assert!(err.to_string().contains("worker 3 reported no result"));
+        assert!(err.to_string().contains("parallel planning failed"));
+        assert_eq!(err.context(), None);
+        assert!(err.source().is_none());
     }
 
     #[test]

@@ -8,18 +8,21 @@
 //!   counts `K_i = ⌊T_i / T_1⌋`, the separated model-chunk placement and the
 //!   per-iteration sub-microbatch plan `M_i = ⌈N_i / B_i⌉`;
 //! * [`ordering`] — the pipeline schedule searcher's first phase (§5.1):
-//!   MCTS over segment orderings with UCB selection, random rollouts and
-//!   score backpropagation, plus DFS and random-exploration variants used in
-//!   the Fig. 11 comparison;
+//!   root-parallel MCTS over segment orderings with UCB selection, random
+//!   rollouts and score backpropagation on independent per-worker trees
+//!   (merged deterministically), plus DFS and random-exploration variants
+//!   used in the Fig. 11 comparison;
 //! * [`memopt`] — per-layer memory optimisation (§5.3): offline candidate
 //!   generation over the checkpoint/offload ladder and a per-rank group-choice
 //!   ILP with warm start and a 5% optimality gap;
 //! * [`planner`] — the online planning loop (§3.2): prefetch metadata,
 //!   partition microbatches, search a schedule (in parallel on CPU workers),
 //!   optimise memory and deploy the plan, per training iteration;
-//! * [`session`] — the planning-session layer: plan requests keyed by
-//!   canonical workload signatures, an LRU plan cache serving repeated
-//!   shapes without re-planning, and warm-started search across iterations;
+//! * [`session`] — the thread-safe planning-session layer: plan requests
+//!   keyed by canonical workload signatures, a concurrent O(1) LRU plan
+//!   cache serving repeated shapes without re-planning, warm-started search
+//!   across iterations, and a [`PlanningSession::plan_many`] worker pool
+//!   for planning independent requests concurrently;
 //! * [`error`] — the unified [`DipError`] returned by every public planner
 //!   entry point;
 //! * [`monolithic`] — the monolithic-ILP baseline of §5.4 / Fig. 12, solved
@@ -39,8 +42,8 @@
 //!
 //! let spec = zoo::vlm_s();
 //! let cluster = ClusterSpec::h800_cluster(2);
-//! let mut session = PlanningSession::new(&spec, ParallelConfig::new(4, 4, 1), &cluster,
-//!                                        PlannerConfig::fast());
+//! let session = PlanningSession::new(&spec, ParallelConfig::new(4, 4, 1), &cluster,
+//!                                    PlannerConfig::fast());
 //! let batch = BatchWorkload::new()
 //!     .with(Modality::Text, ModalityWorkload::new(6502, 1))
 //!     .with(Modality::Image, ModalityWorkload::new(1690, 10));

@@ -9,15 +9,30 @@
 //! structure, so (following the paper's search-space reduction) they share a
 //! priority and their relative order is fixed; microbatch order is handled by
 //! the interleaver's tie-breaking.
+//!
+//! # Parallel search
+//!
+//! The MCTS and random strategies run **root-parallel** on
+//! [`OrderingSearchConfig::workers`] CPU workers (§6.2): every worker owns an
+//! independent search tree, RNG stream and evaluation budget, so workers
+//! never contend on shared state while exploring. When all workers finish,
+//! their incumbents are merged by best simulated iteration time with a
+//! stable tie-break (the lowest worker index wins ties), so a fixed
+//! [`OrderingSearchConfig::seed`] yields a deterministic plan at any worker
+//! count whenever the search is bounded by
+//! [`OrderingSearchConfig::max_evaluations`] rather than wall clock. In
+//! that evaluation-bounded regime, worker 0 replays the single-worker
+//! stream with the same per-worker budget, so adding workers can only
+//! improve (never degrade) the returned ordering for a fixed seed;
+//! wall-clock-bounded searches carry no such guarantee (oversubscribed
+//! cores shrink every worker's share of the budget).
 
 use dip_pipeline::{dual_queue, DualQueueConfig, RankOrders, StageGraph};
-use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
 use std::time::{Duration, Instant};
 
 /// Which exploration strategy drives the ordering search.
@@ -36,13 +51,16 @@ pub enum SearchStrategy {
 pub struct OrderingSearchConfig {
     /// Exploration strategy.
     pub strategy: SearchStrategy,
-    /// Wall-clock budget for the search.
+    /// Wall-clock budget for the search (shared by all workers).
     pub time_budget: Duration,
-    /// Optional cap on the number of ordering evaluations. Searches stop at
-    /// whichever of the two budgets is hit first; with a single worker this
-    /// makes the search deterministic for a fixed RNG seed.
+    /// Optional cap on the number of ordering evaluations **per worker**.
+    /// Each worker stops at whichever of the two budgets is hit first; an
+    /// evaluation-bounded search is deterministic for a fixed RNG seed at
+    /// any worker count (wall-clock-bounded searches are not).
     pub max_evaluations: Option<u64>,
-    /// Number of parallel CPU workers exploring the space (§6.2).
+    /// Number of parallel CPU workers exploring the space (§6.2). Each
+    /// worker runs an independent (root-parallel) search; results are merged
+    /// deterministically.
     pub workers: usize,
     /// Rollouts performed per MCTS expansion.
     pub rollouts_per_expansion: usize,
@@ -53,14 +71,15 @@ pub struct OrderingSearchConfig {
     /// Base dual-queue configuration (memory limits etc.); the searched
     /// segment priorities override its `segment_priorities`.
     pub dual_queue: DualQueueConfig,
-    /// RNG seed.
+    /// RNG seed. Worker `w` derives its stream from `seed` and `w`; worker 0
+    /// uses exactly the single-worker stream.
     pub seed: u64,
     /// Warm start: a segment ordering to evaluate before exploring, normally
     /// the previous iteration's best (see
-    /// [`ordering_from_priorities`]). MCTS additionally seeds its tree with
-    /// this path, so exploration starts around the incumbent instead of
-    /// cold-starting. Ignored unless it is a permutation of the segment
-    /// indices.
+    /// [`ordering_from_priorities`]). MCTS additionally seeds every worker's
+    /// tree with this path, so exploration starts around the incumbent
+    /// instead of cold-starting. Ignored unless it is a permutation of the
+    /// segment indices.
     pub seed_ordering: Option<Vec<usize>>,
 }
 
@@ -114,18 +133,6 @@ fn is_permutation(ordering: &[usize], num_segments: usize) -> bool {
     true
 }
 
-/// True when either the wall-clock or the evaluation budget is exhausted.
-fn budget_exhausted(
-    config: &OrderingSearchConfig,
-    start: Instant,
-    evaluations: &AtomicU64,
-) -> bool {
-    start.elapsed() >= config.time_budget
-        || config
-            .max_evaluations
-            .is_some_and(|cap| evaluations.load(AtomicOrdering::Relaxed) >= cap)
-}
-
 /// A point on the best-score-versus-time curve (Fig. 11).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct SearchProgressPoint {
@@ -142,9 +149,13 @@ pub struct OrderingResult {
     pub segment_priorities: Vec<i64>,
     /// Best simulated iteration time found, in seconds.
     pub best_time_s: f64,
-    /// Number of orderings evaluated.
+    /// Number of orderings evaluated (all workers plus the incumbents).
     pub evaluations: u64,
-    /// Progress curve (monotonically decreasing best time).
+    /// Orderings evaluated by each search worker, in worker-index order.
+    /// Empty when the search was skipped (single-segment graphs).
+    pub worker_evaluations: Vec<u64>,
+    /// Progress curve (monotonically decreasing best time, merged across
+    /// workers).
     pub progress: Vec<SearchProgressPoint>,
     /// The per-rank orders realising the best time.
     pub orders: RankOrders,
@@ -170,12 +181,54 @@ fn evaluate(
     (makespan, orders, priorities)
 }
 
-/// Shared best-so-far state across search workers.
-struct Best {
+/// One worker's private best-so-far state plus its bookkeeping. Workers
+/// never share this — merging happens once, deterministically, at the end.
+#[derive(Clone)]
+struct WorkerOutcome {
     time_s: f64,
     priorities: Vec<i64>,
     orders: RankOrders,
     progress: Vec<SearchProgressPoint>,
+    evaluations: u64,
+}
+
+impl WorkerOutcome {
+    fn starting_from(incumbent: &WorkerOutcome) -> Self {
+        Self {
+            time_s: incumbent.time_s,
+            priorities: incumbent.priorities.clone(),
+            orders: incumbent.orders.clone(),
+            progress: Vec::new(),
+            evaluations: 0,
+        }
+    }
+
+    fn record_if_better(
+        &mut self,
+        start: Instant,
+        time_s: f64,
+        priorities: &[i64],
+        orders: &RankOrders,
+    ) {
+        if time_s < self.time_s {
+            self.time_s = time_s;
+            self.priorities = priorities.to_vec();
+            self.orders = orders.clone();
+            self.progress.push(SearchProgressPoint {
+                elapsed: start.elapsed(),
+                best_time_s: time_s,
+            });
+        }
+    }
+
+    /// True when either the shared wall clock or this worker's evaluation
+    /// budget is exhausted.
+    fn budget_exhausted(&self, config: &OrderingSearchConfig, start: Instant) -> bool {
+        start.elapsed() >= config.time_budget
+            || config
+                .max_evaluations
+                .is_some_and(|cap| self.evaluations >= cap)
+    }
 }
 
 /// Runs the segment-ordering search over `num_segments` segments of `graph`.
@@ -187,7 +240,7 @@ pub fn search_ordering(
     let start = Instant::now();
     let identity: Vec<usize> = (0..num_segments).collect();
     let (t0, o0, p0) = evaluate(graph, &identity, &config.dual_queue);
-    let best = Mutex::new(Best {
+    let mut incumbent = WorkerOutcome {
         time_s: t0,
         priorities: p0,
         orders: o0,
@@ -195,8 +248,8 @@ pub fn search_ordering(
             elapsed: start.elapsed(),
             best_time_s: t0,
         }],
-    });
-    let evaluations = AtomicU64::new(1);
+        evaluations: 1,
+    };
 
     // Warm start: evaluate the seeded ordering (typically the previous
     // iteration's best) so the incumbent is at least as good as last time.
@@ -207,96 +260,125 @@ pub fn search_ordering(
     let mut warm_time = None;
     if let Some(seed) = warm {
         let (t, o, p) = evaluate(graph, seed, &config.dual_queue);
-        evaluations.fetch_add(1, AtomicOrdering::Relaxed);
-        record_if_better(&best, start, t, &p, &o);
+        incumbent.evaluations += 1;
+        incumbent.record_if_better(start, t, &p, &o);
         warm_time = Some(t);
     }
 
+    let mut outcomes: Vec<WorkerOutcome> = Vec::new();
     if num_segments > 1 {
         match config.strategy {
             SearchStrategy::Mcts => {
-                let mut initial_tree = MctsTree::new(num_segments);
-                if let (Some(seed), Some(t)) = (warm, warm_time) {
-                    initial_tree.seed_path(seed, t);
-                }
-                let tree = Mutex::new(initial_tree);
-                run_workers(config, |worker| {
+                outcomes = run_root_parallel(config, |worker| {
+                    let mut local = WorkerOutcome::starting_from(&incumbent);
                     mcts_worker(
                         graph,
                         num_segments,
                         config,
-                        &tree,
-                        &best,
-                        &evaluations,
+                        warm.zip(warm_time),
+                        &mut local,
                         start,
                         worker,
-                    )
+                    );
+                    local
                 });
             }
             SearchStrategy::Random => {
-                run_workers(config, |worker| {
-                    random_worker(
-                        graph,
-                        num_segments,
-                        config,
-                        &best,
-                        &evaluations,
-                        start,
-                        worker,
-                    )
+                outcomes = run_root_parallel(config, |worker| {
+                    let mut local = WorkerOutcome::starting_from(&incumbent);
+                    random_worker(graph, num_segments, config, &mut local, start, worker);
+                    local
                 });
             }
             SearchStrategy::Dfs => {
-                dfs_search(graph, num_segments, config, &best, &evaluations, start);
+                // DFS is a deterministic lexicographic enumeration; it runs
+                // on a single worker regardless of the configured count.
+                let mut local = WorkerOutcome::starting_from(&incumbent);
+                dfs_search(graph, num_segments, config, &mut local, start);
+                outcomes = vec![local];
             }
         }
     }
 
-    let best = best.into_inner();
-    OrderingResult {
-        segment_priorities: best.priorities,
-        best_time_s: best.time_s,
-        evaluations: evaluations.load(AtomicOrdering::Relaxed),
-        progress: best.progress,
-        orders: best.orders,
-    }
+    merge_outcomes(incumbent, outcomes)
 }
 
-fn run_workers<'scope, F>(config: &OrderingSearchConfig, work: F)
+/// Runs `work` on `config.workers` independent workers and returns their
+/// outcomes in worker-index order. A single worker runs inline (no thread).
+fn run_root_parallel<F>(config: &OrderingSearchConfig, work: F) -> Vec<WorkerOutcome>
 where
-    F: Fn(usize) + Sync + Send + 'scope,
+    F: Fn(usize) -> WorkerOutcome + Sync + Send,
 {
     let workers = config.workers.max(1);
     if workers == 1 {
-        work(0);
-        return;
+        return vec![work(0)];
     }
     crossbeam::scope(|scope| {
-        for w in 0..workers {
-            let work = &work;
-            scope.spawn(move |_| work(w));
-        }
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                let work = &work;
+                scope.spawn(move |_| work(w))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("search worker panicked"))
+            .collect()
     })
-    .expect("search worker panicked");
+    .expect("search scope panicked")
 }
 
-fn record_if_better(
-    best: &Mutex<Best>,
-    start: Instant,
-    time_s: f64,
-    priorities: &[i64],
-    orders: &RankOrders,
-) {
-    let mut guard = best.lock();
-    if time_s < guard.time_s {
-        guard.time_s = time_s;
-        guard.priorities = priorities.to_vec();
-        guard.orders = orders.clone();
-        guard.progress.push(SearchProgressPoint {
-            elapsed: start.elapsed(),
-            best_time_s: time_s,
-        });
+/// Merges the incumbent and every worker outcome into the final result.
+///
+/// Workers are visited in index order and only a *strictly* better time
+/// replaces the current best, so ties resolve to the lowest worker index —
+/// the stable tie-break that keeps fixed-seed searches deterministic.
+fn merge_outcomes(incumbent: WorkerOutcome, outcomes: Vec<WorkerOutcome>) -> OrderingResult {
+    let mut evaluations = incumbent.evaluations;
+    let mut worker_evaluations = Vec::with_capacity(outcomes.len());
+    let mut progress = incumbent.progress.clone();
+    let mut best_time = incumbent.time_s;
+    let mut best_priorities = incumbent.priorities;
+    let mut best_orders = incumbent.orders;
+    for outcome in &outcomes {
+        evaluations += outcome.evaluations;
+        worker_evaluations.push(outcome.evaluations);
+        progress.extend(outcome.progress.iter().copied());
+        if outcome.time_s < best_time {
+            best_time = outcome.time_s;
+            best_priorities = outcome.priorities.clone();
+            best_orders = outcome.orders.clone();
+        }
     }
+    // Merge the per-worker curves into one monotone best-so-far curve.
+    progress.sort_by(|a, b| {
+        a.elapsed.cmp(&b.elapsed).then(
+            a.best_time_s
+                .partial_cmp(&b.best_time_s)
+                .unwrap_or(std::cmp::Ordering::Equal),
+        )
+    });
+    let mut merged = Vec::with_capacity(progress.len());
+    let mut current = f64::INFINITY;
+    for point in progress {
+        if point.best_time_s < current {
+            current = point.best_time_s;
+            merged.push(point);
+        }
+    }
+    OrderingResult {
+        segment_priorities: best_priorities,
+        best_time_s: best_time,
+        evaluations,
+        worker_evaluations,
+        progress: merged,
+        orders: best_orders,
+    }
+}
+
+/// The RNG stream of worker `w`; worker 0 replays the single-worker stream.
+fn worker_rng(seed: u64, worker: usize) -> StdRng {
+    StdRng::seed_from_u64(seed ^ (worker as u64).wrapping_mul(0xA5A5_A5A5))
 }
 
 // ---------------------------------------------------------------------------
@@ -307,18 +389,17 @@ fn random_worker(
     graph: &StageGraph,
     num_segments: usize,
     config: &OrderingSearchConfig,
-    best: &Mutex<Best>,
-    evaluations: &AtomicU64,
+    local: &mut WorkerOutcome,
     start: Instant,
     worker: usize,
 ) {
-    let mut rng = StdRng::seed_from_u64(config.seed ^ (worker as u64).wrapping_mul(0x9E3779B9));
+    let mut rng = worker_rng(config.seed, worker);
     let mut ordering: Vec<usize> = (0..num_segments).collect();
-    while !budget_exhausted(config, start, evaluations) {
+    while !local.budget_exhausted(config, start) {
         ordering.shuffle(&mut rng);
         let (t, o, p) = evaluate(graph, &ordering, &config.dual_queue);
-        evaluations.fetch_add(1, AtomicOrdering::Relaxed);
-        record_if_better(best, start, t, &p, &o);
+        local.evaluations += 1;
+        local.record_if_better(start, t, &p, &o);
     }
 }
 
@@ -330,49 +411,39 @@ fn dfs_search(
     graph: &StageGraph,
     num_segments: usize,
     config: &OrderingSearchConfig,
-    best: &Mutex<Best>,
-    evaluations: &AtomicU64,
+    local: &mut WorkerOutcome,
     start: Instant,
 ) {
-    // Lexicographic enumeration of permutations via Heap-style recursion with
-    // an explicit prefix stack, stopping at the time budget.
+    // Lexicographic enumeration of permutations via recursion with an
+    // explicit prefix stack, stopping at the budget.
     fn recurse(
         graph: &StageGraph,
         config: &OrderingSearchConfig,
-        best: &Mutex<Best>,
-        evaluations: &AtomicU64,
+        local: &mut WorkerOutcome,
         start: Instant,
         prefix: &mut Vec<usize>,
         remaining: &mut Vec<usize>,
     ) {
-        if budget_exhausted(config, start, evaluations) {
+        if local.budget_exhausted(config, start) {
             return;
         }
         if remaining.is_empty() {
             let (t, o, p) = evaluate(graph, prefix, &config.dual_queue);
-            evaluations.fetch_add(1, AtomicOrdering::Relaxed);
-            record_if_better(best, start, t, &p, &o);
+            local.evaluations += 1;
+            local.record_if_better(start, t, &p, &o);
             return;
         }
         for i in 0..remaining.len() {
             let seg = remaining.remove(i);
             prefix.push(seg);
-            recurse(graph, config, best, evaluations, start, prefix, remaining);
+            recurse(graph, config, local, start, prefix, remaining);
             prefix.pop();
             remaining.insert(i, seg);
         }
     }
     let mut prefix = Vec::new();
     let mut remaining: Vec<usize> = (0..num_segments).collect();
-    recurse(
-        graph,
-        config,
-        best,
-        evaluations,
-        start,
-        &mut prefix,
-        &mut remaining,
-    );
+    recurse(graph, config, local, start, &mut prefix, &mut remaining);
 }
 
 // ---------------------------------------------------------------------------
@@ -438,82 +509,85 @@ impl MctsTree {
     }
 }
 
-#[allow(clippy::too_many_arguments)]
+/// One root-parallel MCTS worker: owns its tree and RNG outright, so the
+/// entire select/expand/rollout/backpropagate loop runs without locks.
 fn mcts_worker(
     graph: &StageGraph,
     num_segments: usize,
     config: &OrderingSearchConfig,
-    tree: &Mutex<MctsTree>,
-    best: &Mutex<Best>,
-    evaluations: &AtomicU64,
+    warm: Option<(&[usize], f64)>,
+    local: &mut WorkerOutcome,
     start: Instant,
     worker: usize,
 ) {
-    let mut rng = StdRng::seed_from_u64(config.seed ^ (worker as u64).wrapping_mul(0xA5A5A5A5));
-    while !budget_exhausted(config, start, evaluations) {
-        // --- Selection + expansion (under the shared-tree lock). ---
-        let (path, prefix) = {
-            let mut t = tree.lock();
-            let mut node_idx = 0usize;
-            let mut path = vec![0usize];
-            let mut prefix: Vec<usize> = Vec::new();
-            let mut used = vec![false; num_segments];
-            loop {
-                if prefix.len() == num_segments {
-                    break;
-                }
-                let unused: Vec<usize> = (0..num_segments).filter(|s| !used[*s]).collect();
-                // Expand if some child is missing.
-                let missing: Vec<usize> = unused
-                    .iter()
-                    .copied()
-                    .filter(|s| !t.nodes[node_idx].children.contains_key(s))
-                    .collect();
-                if !missing.is_empty() {
-                    let pick = missing[rng.gen_range(0..missing.len())];
-                    let new_idx = t.nodes.len();
-                    t.nodes.push(MctsNode::new());
-                    t.nodes[node_idx].children.insert(pick, new_idx);
-                    prefix.push(pick);
-                    used[pick] = true;
-                    path.push(new_idx);
-                    break;
-                }
-                // UCB selection among existing children.
-                let parent_visits = t.nodes[node_idx].visits.max(1);
-                let global_best = best.lock().time_s;
-                let mut best_child = None;
-                let mut best_ucb = f64::NEG_INFINITY;
-                for &seg in &unused {
-                    let child_idx = t.nodes[node_idx].children[&seg];
-                    let child = &t.nodes[child_idx];
-                    let exploit = if child.best_time.is_finite() {
-                        (global_best / child.best_time).powf(config.ucb_alpha)
-                    } else {
-                        0.5
-                    };
-                    let explore = config.ucb_beta
-                        * ((parent_visits as f64).ln() / (child.visits.max(1) as f64)).sqrt();
-                    let ucb = exploit + explore;
-                    if ucb > best_ucb {
-                        best_ucb = ucb;
-                        best_child = Some((seg, child_idx));
-                    }
-                }
-                let Some((seg, child_idx)) = best_child else {
-                    break;
-                };
-                prefix.push(seg);
-                used[seg] = true;
-                node_idx = child_idx;
-                path.push(child_idx);
+    let mut rng = worker_rng(config.seed, worker);
+    let mut tree = MctsTree::new(num_segments);
+    if let Some((seed, time_s)) = warm {
+        tree.seed_path(seed, time_s);
+    }
+    while !local.budget_exhausted(config, start) {
+        // --- Selection + expansion. ---
+        let mut node_idx = 0usize;
+        let mut path = vec![0usize];
+        let mut prefix: Vec<usize> = Vec::new();
+        let mut used = vec![false; num_segments];
+        loop {
+            if prefix.len() == num_segments {
+                break;
             }
-            (path, prefix)
-        };
+            let unused: Vec<usize> = (0..num_segments).filter(|s| !used[*s]).collect();
+            // Expand if some child is missing.
+            let missing: Vec<usize> = unused
+                .iter()
+                .copied()
+                .filter(|s| !tree.nodes[node_idx].children.contains_key(s))
+                .collect();
+            if !missing.is_empty() {
+                let pick = missing[rng.gen_range(0..missing.len())];
+                let new_idx = tree.nodes.len();
+                tree.nodes.push(MctsNode::new());
+                tree.nodes[node_idx].children.insert(pick, new_idx);
+                prefix.push(pick);
+                used[pick] = true;
+                path.push(new_idx);
+                break;
+            }
+            // UCB selection among existing children.
+            let parent_visits = tree.nodes[node_idx].visits.max(1);
+            let incumbent = local.time_s;
+            let mut best_child = None;
+            let mut best_ucb = f64::NEG_INFINITY;
+            for &seg in &unused {
+                let child_idx = tree.nodes[node_idx].children[&seg];
+                let child = &tree.nodes[child_idx];
+                let exploit = if child.best_time.is_finite() {
+                    (incumbent / child.best_time).powf(config.ucb_alpha)
+                } else {
+                    0.5
+                };
+                let explore = config.ucb_beta
+                    * ((parent_visits as f64).ln() / (child.visits.max(1) as f64)).sqrt();
+                let ucb = exploit + explore;
+                if ucb > best_ucb {
+                    best_ucb = ucb;
+                    best_child = Some((seg, child_idx));
+                }
+            }
+            let Some((seg, child_idx)) = best_child else {
+                break;
+            };
+            prefix.push(seg);
+            used[seg] = true;
+            node_idx = child_idx;
+            path.push(child_idx);
+        }
 
-        // --- Rollouts (outside the lock). ---
+        // --- Rollouts. ---
         let mut local_best = f64::INFINITY;
         for _ in 0..config.rollouts_per_expansion.max(1) {
+            if local.budget_exhausted(config, start) {
+                break;
+            }
             let mut ordering = prefix.clone();
             let mut rest: Vec<usize> = (0..num_segments)
                 .filter(|s| !ordering.contains(s))
@@ -521,21 +595,19 @@ fn mcts_worker(
             rest.shuffle(&mut rng);
             ordering.extend(rest);
             let (t, o, p) = evaluate(graph, &ordering, &config.dual_queue);
-            evaluations.fetch_add(1, AtomicOrdering::Relaxed);
-            record_if_better(best, start, t, &p, &o);
+            local.evaluations += 1;
+            local.record_if_better(start, t, &p, &o);
             local_best = local_best.min(t);
-            if budget_exhausted(config, start, evaluations) {
-                break;
-            }
         }
 
         // --- Backpropagation. ---
-        let mut t = tree.lock();
-        for idx in path {
-            let node = &mut t.nodes[idx];
-            node.visits += 1;
-            if local_best < node.best_time {
-                node.best_time = local_best;
+        if local_best.is_finite() {
+            for idx in path {
+                let node = &mut tree.nodes[idx];
+                node.visits += 1;
+                if local_best < node.best_time {
+                    node.best_time = local_best;
+                }
             }
         }
     }
@@ -585,9 +657,9 @@ mod tests {
         assert!(result.best_time_s.is_finite() && result.best_time_s > 0.0);
         assert!(result.evaluations >= 1);
         assert_eq!(result.orders.num_stages(), graph.items.len());
-        // Progress is monotonically non-increasing.
+        // Progress is monotonically decreasing after the merge.
         for w in result.progress.windows(2) {
-            assert!(w[1].best_time_s <= w[0].best_time_s);
+            assert!(w[1].best_time_s < w[0].best_time_s);
         }
     }
 
@@ -621,6 +693,11 @@ mod tests {
         ] {
             let result = search_ordering(&graph, n, &quick_config(strategy));
             assert!(result.evaluations >= 1, "{strategy:?}");
+            let worker_total: u64 = result.worker_evaluations.iter().sum();
+            assert!(
+                result.evaluations > worker_total,
+                "{strategy:?}: the incumbent evaluations are counted too"
+            );
         }
     }
 
@@ -677,20 +754,26 @@ mod tests {
         }
     }
 
+    fn bounded_config(workers: usize, per_worker_evaluations: u64) -> OrderingSearchConfig {
+        OrderingSearchConfig {
+            strategy: SearchStrategy::Mcts,
+            // Bound by evaluations, not wall clock, for determinism.
+            time_budget: Duration::from_secs(3600),
+            max_evaluations: Some(per_worker_evaluations),
+            workers,
+            rollouts_per_expansion: 2,
+            seed: 7,
+            ..OrderingSearchConfig::default()
+        }
+    }
+
     #[test]
     fn warm_started_search_is_deterministic_for_a_fixed_seed() {
         let (graph, n) = vlm_graph(4);
         let run = || {
             let config = OrderingSearchConfig {
-                strategy: SearchStrategy::Mcts,
-                // Bound by evaluations, not wall clock, for determinism.
-                time_budget: Duration::from_secs(3600),
-                max_evaluations: Some(40),
-                workers: 1,
-                rollouts_per_expansion: 2,
-                seed: 7,
                 seed_ordering: Some((0..n).rev().collect()),
-                ..OrderingSearchConfig::default()
+                ..bounded_config(1, 40)
             };
             search_ordering(&graph, n, &config)
         };
@@ -703,26 +786,71 @@ mod tests {
     }
 
     #[test]
-    fn max_evaluations_caps_the_search() {
+    fn root_parallel_search_is_deterministic_at_any_worker_count() {
+        let (graph, n) = vlm_graph(4);
+        for workers in [2usize, 4] {
+            let run = || search_ordering(&graph, n, &bounded_config(workers, 30));
+            let a = run();
+            let b = run();
+            assert_eq!(
+                a.segment_priorities, b.segment_priorities,
+                "{workers} workers"
+            );
+            assert_eq!(a.orders, b.orders, "{workers} workers");
+            assert_eq!(a.evaluations, b.evaluations, "{workers} workers");
+            assert_eq!(a.worker_evaluations, b.worker_evaluations);
+            assert_eq!(a.worker_evaluations.len(), workers);
+            assert!((a.best_time_s - b.best_time_s).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn adding_workers_never_degrades_the_plan_for_a_fixed_seed() {
+        let (graph, n) = vlm_graph(4);
+        // Worker 0 replays the single-worker RNG stream with the same
+        // per-worker budget, so the merged parallel best can only be ≤ the
+        // single-threaded best.
+        let single = search_ordering(&graph, n, &bounded_config(1, 30));
+        for workers in [2usize, 4, 8] {
+            let parallel = search_ordering(&graph, n, &bounded_config(workers, 30));
+            assert!(
+                parallel.best_time_s <= single.best_time_s + 1e-12,
+                "{workers} workers: {} vs single-threaded {}",
+                parallel.best_time_s,
+                single.best_time_s
+            );
+        }
+    }
+
+    #[test]
+    fn max_evaluations_caps_each_worker() {
         let (graph, n) = vlm_graph(3);
         for strategy in [
             SearchStrategy::Mcts,
             SearchStrategy::Random,
             SearchStrategy::Dfs,
         ] {
-            let config = OrderingSearchConfig {
-                time_budget: Duration::from_secs(3600),
-                max_evaluations: Some(10),
-                workers: 1,
-                rollouts_per_expansion: 1,
-                ..quick_config(strategy)
-            };
-            let result = search_ordering(&graph, n, &config);
-            assert!(
-                result.evaluations <= 12,
-                "{strategy:?} ran {} evaluations",
-                result.evaluations
-            );
+            for workers in [1usize, 3] {
+                let config = OrderingSearchConfig {
+                    time_budget: Duration::from_secs(3600),
+                    max_evaluations: Some(10),
+                    workers,
+                    rollouts_per_expansion: 1,
+                    ..quick_config(strategy)
+                };
+                let result = search_ordering(&graph, n, &config);
+                assert!(
+                    result.worker_evaluations.iter().all(|&e| e <= 10),
+                    "{strategy:?}/{workers}: per-worker counts {:?}",
+                    result.worker_evaluations
+                );
+                let cap = 1 + 10 * result.worker_evaluations.len() as u64;
+                assert!(
+                    result.evaluations <= cap,
+                    "{strategy:?}/{workers} ran {} evaluations (cap {cap})",
+                    result.evaluations
+                );
+            }
         }
     }
 
@@ -739,5 +867,6 @@ mod tests {
         let result = search_ordering(&graph, 1, &quick_config(SearchStrategy::Mcts));
         assert_eq!(result.evaluations, 1);
         assert_eq!(result.segment_priorities.len(), 1);
+        assert!(result.worker_evaluations.is_empty());
     }
 }

@@ -33,6 +33,13 @@ pub struct PlannerConfig {
     pub enable_search: bool,
     /// Enables per-layer memory optimisation.
     pub enable_memory_opt: bool,
+    /// The planner's total CPU-thread budget.
+    /// [`crate::PlanningSession::plan_many`] sizes its worker pool as
+    /// `num_threads / search.workers` (at least one), so batch planning
+    /// never runs more than `num_threads` concurrent threads in total.
+    /// Set together with `search.workers` via
+    /// [`PlannerConfig::with_num_threads`].
+    pub num_threads: usize,
 }
 
 impl Default for PlannerConfig {
@@ -44,6 +51,7 @@ impl Default for PlannerConfig {
             efficiency: EfficiencyModel::default(),
             enable_search: true,
             enable_memory_opt: true,
+            num_threads: 4,
         }
     }
 }
@@ -77,10 +85,23 @@ impl PlannerConfig {
         self.search.strategy = strategy;
         self
     }
+
+    /// Gives the planner an `n`-thread CPU budget: `n` ordering-search
+    /// workers per plan, with [`crate::PlanningSession::plan_many`] sizing
+    /// its pool within the same budget (so with all `n` threads devoted to
+    /// the search, batch planning proceeds one plan at a time). To fan out
+    /// across plans instead, set `search.workers` to 1 and keep
+    /// `num_threads` at the core count.
+    pub fn with_num_threads(mut self, n: usize) -> Self {
+        let n = n.max(1);
+        self.search.workers = n;
+        self.num_threads = n;
+        self
+    }
 }
 
 /// Statistics of one planning invocation.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
 pub struct PlannerStats {
     /// Wall-clock time spent planning (all phases).
     pub planning_time: Duration,
@@ -95,6 +116,10 @@ pub struct PlannerStats {
     pub memopt_time: Duration,
     /// Number of schedule candidates evaluated by the searcher.
     pub search_evaluations: u64,
+    /// Schedule candidates evaluated by each parallel search worker, in
+    /// worker-index order (empty when the search was skipped or the graph
+    /// has a single segment).
+    pub search_worker_evaluations: Vec<u64>,
     /// The searcher's own estimate of the planned iteration time (seconds).
     pub planned_time_s: f64,
     /// True when the plan was served from a [`crate::PlanningSession`]
@@ -158,6 +183,11 @@ impl<'a> DipPlanner<'a> {
         &self.timing
     }
 
+    /// The planner configuration.
+    pub fn config(&self) -> &PlannerConfig {
+        &self.config
+    }
+
     /// Runs (or re-runs) the offline phase against a representative
     /// microbatch, fixing the model-chunk placement for subsequent
     /// iterations.
@@ -186,13 +216,38 @@ impl<'a> DipPlanner<'a> {
         self.partition.lock().clone()
     }
 
+    /// Runs the offline phase against `representative` only if no placement
+    /// is pinned yet, holding the partition lock across the whole
+    /// check-and-pin — so concurrent planners on a fresh shared planner
+    /// agree on one placement (the second caller blocks, then reads the
+    /// first's output) instead of racing last-write-wins.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`DipError`] from the partitioner.
+    pub fn offline_partition_if_absent(
+        &self,
+        representative: &BatchWorkload,
+    ) -> Result<PartitionerOutput, DipError> {
+        let mut guard = self.partition.lock();
+        if let Some(p) = guard.clone() {
+            return Ok(p);
+        }
+        let partitioner = ModalityAwarePartitioner::new(
+            self.spec,
+            self.parallel,
+            self.timing,
+            self.config.partitioner,
+        );
+        let output = partitioner.partition(representative)?;
+        *guard = Some(output.clone());
+        Ok(output)
+    }
+
     fn ensure_partition(
         &self,
         microbatches: &[BatchWorkload],
     ) -> Result<PartitionerOutput, DipError> {
-        if let Some(p) = self.partition.lock().clone() {
-            return Ok(p);
-        }
         // Use the heaviest microbatch of the first iteration as the
         // representative workload.
         let representative = microbatches
@@ -200,7 +255,7 @@ impl<'a> DipPlanner<'a> {
             .max_by(|a, b| a.total_tokens().cmp(&b.total_tokens()))
             .cloned()
             .unwrap_or_default();
-        self.offline_partition(&representative)
+        self.offline_partition_if_absent(&representative)
     }
 
     /// Plans one training iteration from prefetched microbatch metadata
@@ -263,29 +318,38 @@ impl<'a> DipPlanner<'a> {
         // Phase ①+②: segment reordering + stage interleaving.
         let search_start = Instant::now();
         let warm_started = self.config.enable_search && seed_ordering.is_some();
-        let (priorities, orders, evaluations, planned_time) = if self.config.enable_search {
-            let search_config = OrderingSearchConfig {
-                dual_queue: base_queue.clone(),
-                seed_ordering: seed_ordering.map(<[usize]>::to_vec),
-                ..self.config.search.clone()
+        let (priorities, orders, evaluations, worker_evaluations, planned_time) =
+            if self.config.enable_search {
+                let search_config = OrderingSearchConfig {
+                    dual_queue: base_queue.clone(),
+                    seed_ordering: seed_ordering.map(<[usize]>::to_vec),
+                    ..self.config.search.clone()
+                };
+                let OrderingResult {
+                    segment_priorities,
+                    best_time_s,
+                    evaluations,
+                    worker_evaluations,
+                    orders,
+                    ..
+                } = search_ordering(&graph, partition.placement.segments.len(), &search_config);
+                (
+                    segment_priorities,
+                    orders,
+                    evaluations,
+                    worker_evaluations,
+                    best_time_s,
+                )
+            } else {
+                let (orders, makespan) = dual_queue::schedule(&graph, &base_queue);
+                (
+                    vec![0; partition.placement.segments.len()],
+                    orders,
+                    1,
+                    Vec::new(),
+                    makespan,
+                )
             };
-            let OrderingResult {
-                segment_priorities,
-                best_time_s,
-                evaluations,
-                orders,
-                ..
-            } = search_ordering(&graph, partition.placement.segments.len(), &search_config);
-            (segment_priorities, orders, evaluations, best_time_s)
-        } else {
-            let (orders, makespan) = dual_queue::schedule(&graph, &base_queue);
-            (
-                vec![0; partition.placement.segments.len()],
-                orders,
-                1,
-                makespan,
-            )
-        };
         let search_time = search_start.elapsed();
 
         // Phase ③: per-layer memory optimisation, then rebuild the graph with
@@ -321,6 +385,7 @@ impl<'a> DipPlanner<'a> {
                 search_time,
                 memopt_time,
                 search_evaluations: evaluations,
+                search_worker_evaluations: worker_evaluations,
                 planned_time_s: planned_time,
                 cache_hit: false,
                 warm_started,
@@ -393,6 +458,22 @@ mod tests {
         assert!(plan.stats.planning_time > Duration::ZERO);
         assert_eq!(plan.orders.num_stages(), plan.graph.items.len());
         assert!(planner.partition_output().is_some());
+    }
+
+    #[test]
+    fn num_threads_knob_reaches_search_and_worker_stats() {
+        let spec = zoo::vlm_s();
+        let cluster = ClusterSpec::h800_cluster(2);
+        let config = PlannerConfig::fast().with_num_threads(2);
+        assert_eq!(config.num_threads, 2);
+        assert_eq!(config.search.workers, 2);
+        let planner = DipPlanner::new(&spec, ParallelConfig::new(4, 4, 1), &cluster, config);
+        let batches: Vec<BatchWorkload> = [10u64, 40].iter().map(|&i| vlm_batch(i)).collect();
+        let plan = planner.plan_iteration(&batches).unwrap();
+        assert_eq!(plan.stats.search_worker_evaluations.len(), 2);
+        // The total includes the incumbent evaluations on top of the
+        // per-worker counts.
+        assert!(plan.stats.search_evaluations > plan.stats.search_worker_evaluations.iter().sum());
     }
 
     #[test]

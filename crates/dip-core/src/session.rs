@@ -10,7 +10,7 @@
 //! * every [`PlanRequest`] is keyed by a canonical [`WorkloadSignature`]
 //!   derived from the per-modality token/sequence counts of its
 //!   microbatches ([`dip_models::BatchWorkload::signature`]);
-//! * plans for already-seen signatures are served from an LRU cache in
+//! * plans for already-seen signatures are served from an O(1) LRU cache in
 //!   microseconds instead of re-running the MCTS ordering search and the
 //!   memory ILP (the [`SessionStats`] hit/miss counters make the saving
 //!   observable);
@@ -18,6 +18,20 @@
 //!   previous iteration's best ordering
 //!   ([`crate::ordering_from_priorities`]), so similar-but-not-identical
 //!   shapes start from a good incumbent instead of cold-starting.
+//!
+//! # Thread safety
+//!
+//! [`PlanningSession::plan`] takes `&self`: the plan cache lives behind a
+//! `parking_lot::RwLock` and the statistics/warm-start state behind
+//! mutexes, so one session can be shared across threads (e.g. behind an
+//! `Arc`, or borrowed into scoped threads) and serve cache hits
+//! concurrently. [`PlanningSession::plan_many`] plans a slice of
+//! independent requests through a worker pool sized so that the pool width
+//! times the per-plan search parallelism stays within the
+//! [`PlannerConfig::num_threads`] CPU budget. Operations that invalidate
+//! the cache ([`PlanningSession::offline_partition`],
+//! [`PlanningSession::clear`]) take `&mut self`, so the type system rules
+//! out racing them against in-flight planning.
 //!
 //! # Example
 //!
@@ -29,7 +43,7 @@
 //!
 //! let spec = zoo::vlm_s();
 //! let cluster = ClusterSpec::h800_cluster(2);
-//! let mut session = PlanningSession::new(
+//! let session = PlanningSession::new(
 //!     &spec,
 //!     ParallelConfig::new(4, 4, 1),
 //!     &cluster,
@@ -50,8 +64,10 @@ use crate::planner::{DipPlan, DipPlanner, PlannerConfig};
 use dip_models::{BatchWorkload, LmmSpec};
 use dip_pipeline::{ExecutionOutcome, ParallelConfig};
 use dip_sim::ClusterSpec;
-use std::collections::{HashMap, VecDeque};
+use parking_lot::{Mutex, RwLock};
+use std::collections::HashMap;
 use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering as AtomicOrdering};
 use std::time::{Duration, Instant};
 
 /// Canonical signature of one iteration's prefetched workload metadata.
@@ -175,7 +191,9 @@ pub struct SessionStats {
     pub requests: u64,
     /// Requests answered from the plan cache.
     pub cache_hits: u64,
-    /// Requests that required a fresh plan.
+    /// Requests that required a fresh plan (including requests whose fresh
+    /// plan failed, so `requests == cache_hits + cache_misses` always
+    /// holds).
     pub cache_misses: u64,
     /// Fresh plans whose search was warm-started.
     pub warm_started_plans: u64,
@@ -203,16 +221,158 @@ impl SessionStats {
     }
 }
 
+/// One entry of the [`LruCache`]: the cached plan plus its position in the
+/// intrusive recency list (`prev` is one step *more* recently used, `next`
+/// one step less).
+#[derive(Debug)]
+struct LruEntry {
+    plan: DipPlan,
+    prev: Option<u64>,
+    next: Option<u64>,
+}
+
+/// An O(1) LRU plan cache: a hash map whose entries double as nodes of an
+/// intrusive doubly-linked recency list. Lookup, touch, insert and eviction
+/// are all O(1) — replacing the previous `VecDeque` recency queue, whose
+/// linear scan on every touch could also hold stale duplicate keys after
+/// re-insertion and skew the eviction count.
+#[derive(Debug, Default)]
+struct LruCache {
+    entries: HashMap<u64, LruEntry>,
+    /// Most recently used key.
+    head: Option<u64>,
+    /// Least recently used key (the eviction candidate).
+    tail: Option<u64>,
+}
+
+impl LruCache {
+    fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    fn clear(&mut self) {
+        self.entries.clear();
+        self.head = None;
+        self.tail = None;
+    }
+
+    /// The cached plan for `key`, without updating recency.
+    fn peek(&self, key: u64) -> Option<&DipPlan> {
+        self.entries.get(&key).map(|e| &e.plan)
+    }
+
+    /// Unlinks `key` from the recency list (the entry stays in the map).
+    fn unlink(&mut self, key: u64) {
+        let (prev, next) = {
+            let entry = &self.entries[&key];
+            (entry.prev, entry.next)
+        };
+        match prev {
+            Some(p) => self.entries.get_mut(&p).expect("linked prev").next = next,
+            None => self.head = next,
+        }
+        match next {
+            Some(n) => self.entries.get_mut(&n).expect("linked next").prev = prev,
+            None => self.tail = prev,
+        }
+    }
+
+    /// Links `key` (already in the map, currently unlinked) as most
+    /// recently used.
+    fn link_front(&mut self, key: u64) {
+        let old_head = self.head;
+        {
+            let entry = self.entries.get_mut(&key).expect("entry to link");
+            entry.prev = None;
+            entry.next = old_head;
+        }
+        if let Some(h) = old_head {
+            self.entries.get_mut(&h).expect("old head").prev = Some(key);
+        }
+        self.head = Some(key);
+        if self.tail.is_none() {
+            self.tail = Some(key);
+        }
+    }
+
+    /// Marks `key` most recently used; a no-op if it is not cached (it may
+    /// have been evicted between a read-locked lookup and this call).
+    fn touch(&mut self, key: u64) {
+        if self.entries.contains_key(&key) {
+            self.unlink(key);
+            self.link_front(key);
+        }
+    }
+
+    /// Inserts (or replaces) `key`, evicting least-recently-used entries
+    /// down to `capacity`; returns how many entries were evicted.
+    fn insert(&mut self, key: u64, plan: DipPlan, capacity: usize) -> u64 {
+        if capacity == 0 {
+            return 0;
+        }
+        if let Some(entry) = self.entries.get_mut(&key) {
+            // Re-insertion of a cached key replaces the plan and refreshes
+            // recency; it never grows the cache, so nothing is evicted.
+            entry.plan = plan;
+            self.touch(key);
+            return 0;
+        }
+        let mut evicted = 0;
+        while self.entries.len() >= capacity {
+            let Some(oldest) = self.tail else { break };
+            self.unlink(oldest);
+            self.entries.remove(&oldest);
+            evicted += 1;
+        }
+        self.entries.insert(
+            key,
+            LruEntry {
+                plan,
+                prev: None,
+                next: None,
+            },
+        );
+        self.link_front(key);
+        evicted
+    }
+
+    /// Checks the map/list size invariants: the recency list visits every
+    /// cached key exactly once, in both directions.
+    #[cfg(test)]
+    fn assert_invariants(&self) {
+        use std::collections::HashSet;
+        let mut seen = HashSet::new();
+        let mut cursor = self.head;
+        let mut prev = None;
+        while let Some(key) = cursor {
+            assert!(seen.insert(key), "duplicate key {key:#x} in recency list");
+            let entry = self.entries.get(&key).expect("listed key is cached");
+            assert_eq!(entry.prev, prev, "broken back-link at {key:#x}");
+            prev = Some(key);
+            cursor = entry.next;
+        }
+        assert_eq!(self.tail, prev, "tail does not end the list");
+        assert_eq!(
+            seen.len(),
+            self.entries.len(),
+            "recency list and map disagree on size"
+        );
+    }
+}
+
 /// A multi-iteration planning session owning a [`DipPlanner`], a plan cache
 /// and the warm-start state (see the [module docs](self)).
+///
+/// The session is `Sync`: share it by reference (or `Arc`) across threads
+/// and call [`PlanningSession::plan`] / [`PlanningSession::plan_many`]
+/// concurrently.
 #[derive(Debug)]
 pub struct PlanningSession<'a> {
     planner: DipPlanner<'a>,
     config: SessionConfig,
-    cache: HashMap<u64, DipPlan>,
-    lru: VecDeque<u64>,
-    last_best_ordering: Option<Vec<usize>>,
-    stats: SessionStats,
+    cache: RwLock<LruCache>,
+    last_best_ordering: Mutex<Option<Vec<usize>>>,
+    stats: Mutex<SessionStats>,
 }
 
 impl<'a> PlanningSession<'a> {
@@ -251,10 +411,9 @@ impl<'a> PlanningSession<'a> {
         Self {
             planner,
             config,
-            cache: HashMap::new(),
-            lru: VecDeque::new(),
-            last_best_ordering: None,
-            stats: SessionStats::default(),
+            cache: RwLock::new(LruCache::default()),
+            last_best_ordering: Mutex::new(None),
+            stats: Mutex::new(SessionStats::default()),
         }
     }
 
@@ -271,6 +430,8 @@ impl<'a> PlanningSession<'a> {
     /// Runs (or re-runs) the planner's offline partitioning phase against a
     /// representative microbatch, dropping every cached plan and the
     /// warm-start seed: both were produced under the previous placement.
+    /// Takes `&mut self` so no concurrent [`PlanningSession::plan`] can
+    /// cache a plan against the old placement while it runs.
     ///
     /// # Errors
     ///
@@ -291,29 +452,32 @@ impl<'a> PlanningSession<'a> {
 
     /// Cumulative session statistics.
     pub fn stats(&self) -> SessionStats {
-        self.stats
+        *self.stats.lock()
     }
 
     /// Number of plans currently cached.
     pub fn cached_plans(&self) -> usize {
-        self.cache.len()
+        self.cache.read().len()
     }
 
     /// Drops every cached plan and the warm-start state.
     pub fn clear(&mut self) {
-        self.cache.clear();
-        self.lru.clear();
-        self.last_best_ordering = None;
+        self.cache.write().clear();
+        *self.last_best_ordering.lock() = None;
     }
 
     /// Plans one iteration, serving repeated workload signatures from the
-    /// cache and warm-starting the search otherwise.
+    /// cache and warm-starting the search otherwise. Takes `&self`; see the
+    /// [module docs](self) on thread safety. Two threads missing on the
+    /// same fresh signature may both plan it (the second insert replaces
+    /// the first) — plans for equal signatures are interchangeable, so
+    /// correctness is unaffected.
     ///
     /// # Errors
     ///
     /// Returns [`DipError::InvalidRequest`] for an empty request, otherwise
     /// propagates the planner's [`DipError`].
-    pub fn plan(&mut self, request: &PlanRequest) -> Result<PlanOutcome, DipError> {
+    pub fn plan(&self, request: &PlanRequest) -> Result<PlanOutcome, DipError> {
         if request.microbatches().is_empty() {
             return Err(DipError::invalid_request(
                 "cannot plan an iteration with zero microbatches",
@@ -321,55 +485,166 @@ impl<'a> PlanningSession<'a> {
         }
         let start = Instant::now();
         let signature = request.signature();
-        self.stats.requests += 1;
+        let key = signature.as_u64();
 
-        if let Some(cached) = self.cache.get(&signature.as_u64()) {
-            // The clone is proportional to the stage-graph size (µs at the
-            // scales planned here) and keeps the outcome self-contained;
-            // the expensive parts being skipped are the search and the ILP.
-            let mut plan = cached.clone();
-            self.touch(signature.as_u64());
-            self.stats.cache_hits += 1;
-            // The plan is identical to the cached original; only the
-            // bookkeeping reflects the (near-zero) cost of serving it.
-            plan.stats.cache_hit = true;
-            plan.stats.planning_time = start.elapsed();
-            plan.stats.partition_time = Duration::ZERO;
-            plan.stats.search_time = Duration::ZERO;
-            plan.stats.memopt_time = Duration::ZERO;
-            self.stats.planning_time += plan.stats.planning_time;
-            return Ok(PlanOutcome {
-                plan,
-                signature,
-                cache_hit: true,
-            });
+        if self.config.cache_capacity > 0 {
+            // Fast path: clone the plan under the shared read lock; the
+            // recency update needs the write lock and is taken separately
+            // (touching a key evicted in between is a harmless no-op).
+            let cached = self.cache.read().peek(key).cloned();
+            if let Some(mut plan) = cached {
+                self.cache.write().touch(key);
+                // The plan is identical to the cached original; only the
+                // bookkeeping reflects the (near-zero) cost of serving it.
+                plan.stats.cache_hit = true;
+                plan.stats.planning_time = start.elapsed();
+                plan.stats.partition_time = Duration::ZERO;
+                plan.stats.search_time = Duration::ZERO;
+                plan.stats.memopt_time = Duration::ZERO;
+                let mut stats = self.stats.lock();
+                stats.requests += 1;
+                stats.cache_hits += 1;
+                stats.planning_time += plan.stats.planning_time;
+                drop(stats);
+                return Ok(PlanOutcome {
+                    plan,
+                    signature,
+                    cache_hit: true,
+                });
+            }
         }
 
         let seed = if self.config.warm_start {
-            self.last_best_ordering.as_deref()
+            self.last_best_ordering.lock().clone()
         } else {
             None
         };
-        let plan = self
+        let planned = self
             .planner
-            .plan_iteration_seeded(request.microbatches(), seed)?;
+            .plan_iteration_seeded(request.microbatches(), seed.as_deref());
+        let plan = match planned {
+            Ok(plan) => plan,
+            Err(err) => {
+                // A failed fresh plan still counts as a miss, keeping
+                // `requests == cache_hits + cache_misses` exact.
+                let mut stats = self.stats.lock();
+                stats.requests += 1;
+                stats.cache_misses += 1;
+                return Err(err);
+            }
+        };
 
-        self.stats.cache_misses += 1;
+        *self.last_best_ordering.lock() = Some(ordering_from_priorities(&plan.segment_priorities));
+        let evicted = if self.config.cache_capacity > 0 {
+            self.cache
+                .write()
+                .insert(key, plan.clone(), self.config.cache_capacity)
+        } else {
+            0
+        };
+
+        let mut stats = self.stats.lock();
+        stats.requests += 1;
+        stats.cache_misses += 1;
+        stats.evictions += evicted;
         if plan.stats.warm_started {
-            self.stats.warm_started_plans += 1;
+            stats.warm_started_plans += 1;
         }
-        self.stats.planning_time += plan.stats.planning_time;
-        self.stats.partition_time += plan.stats.partition_time;
-        self.stats.search_time += plan.stats.search_time;
-        self.stats.memopt_time += plan.stats.memopt_time;
-        self.last_best_ordering = Some(ordering_from_priorities(&plan.segment_priorities));
-        self.insert(signature.as_u64(), plan.clone());
+        stats.planning_time += plan.stats.planning_time;
+        stats.partition_time += plan.stats.partition_time;
+        stats.search_time += plan.stats.search_time;
+        stats.memopt_time += plan.stats.memopt_time;
+        drop(stats);
 
         Ok(PlanOutcome {
             plan,
             signature,
             cache_hit: false,
         })
+    }
+
+    /// Plans a slice of independent requests concurrently through a worker
+    /// pool, returning one result per request in request order. The workers
+    /// share this session's plan cache, so repeated signatures within (or
+    /// before) the slice hit the cache as usual.
+    ///
+    /// [`PlannerConfig::num_threads`] is the session's *total* CPU budget:
+    /// each plan already runs `search.workers` ordering-search threads, so
+    /// the pool width is `num_threads / search.workers` (at least one) and
+    /// total concurrency never multiplies beyond `num_threads`. For a wide
+    /// pool, set `search.workers` to 1 and `num_threads` to the core count.
+    /// The pool width never changes the per-plan search configuration;
+    /// plan *content* can still differ from a sequential
+    /// [`PlanningSession::plan`] loop when warm starts are enabled,
+    /// because the warm-start incumbent each fresh plan picks up depends
+    /// on which plan finished last (cache-hit identity for repeated
+    /// signatures is unaffected).
+    ///
+    /// A planner panic is confined to its request and reported as
+    /// [`DipError::Concurrency`] in that slot instead of tearing down the
+    /// whole batch.
+    ///
+    /// If the offline partitioning phase has not run yet, it is run once
+    /// up front against the heaviest microbatch across the whole slice —
+    /// so a heterogeneous batch is planned under one deterministic
+    /// placement rather than racing per-worker representatives. (Call
+    /// [`PlanningSession::offline_partition`] first to choose the
+    /// representative yourself.)
+    pub fn plan_many(&self, requests: &[PlanRequest]) -> Vec<Result<PlanOutcome, DipError>> {
+        let representative = requests
+            .iter()
+            .flat_map(|r| r.microbatches())
+            .max_by_key(|b| b.total_tokens())
+            .cloned();
+        if let Some(representative) = representative {
+            // Compute-if-absent under a single lock hold: concurrent
+            // plan_many/plan calls on a fresh session pin exactly one
+            // placement instead of racing last-write-wins.
+            if let Err(err) = self.planner.offline_partition_if_absent(&representative) {
+                return requests.iter().map(|_| Err(err.clone())).collect();
+            }
+        }
+        let config = self.planner.config();
+        let threads = (config.num_threads.max(1) / config.search.workers.max(1))
+            .max(1)
+            .min(requests.len().max(1));
+        let plan_caught = |request: &PlanRequest| {
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| self.plan(request)))
+                .unwrap_or_else(|_| {
+                    Err(DipError::concurrency(
+                        "planner worker panicked while planning a request",
+                    ))
+                })
+        };
+        if threads <= 1 || requests.len() <= 1 {
+            return requests.iter().map(plan_caught).collect();
+        }
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<Result<PlanOutcome, DipError>>>> =
+            requests.iter().map(|_| Mutex::new(None)).collect();
+        crossbeam::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|_| loop {
+                    let i = next.fetch_add(1, AtomicOrdering::Relaxed);
+                    let Some(request) = requests.get(i) else {
+                        break;
+                    };
+                    *slots[i].lock() = Some(plan_caught(request));
+                });
+            }
+        })
+        .expect("plan_many scope failed");
+        slots
+            .into_iter()
+            .enumerate()
+            .map(|(i, slot)| {
+                slot.into_inner().unwrap_or_else(|| {
+                    Err(DipError::concurrency(format!(
+                        "no worker reported a result for request {i}"
+                    )))
+                })
+            })
+            .collect()
     }
 
     /// Simulates the deployment of a plan (delegates to the planner).
@@ -387,34 +662,12 @@ impl<'a> PlanningSession<'a> {
     ///
     /// Propagates [`DipError`] from planning or simulation.
     pub fn plan_and_simulate(
-        &mut self,
+        &self,
         request: &PlanRequest,
     ) -> Result<(PlanOutcome, ExecutionOutcome), DipError> {
         let outcome = self.plan(request)?;
         let execution = self.simulate(&outcome.plan)?;
         Ok((outcome, execution))
-    }
-
-    fn touch(&mut self, key: u64) {
-        if let Some(pos) = self.lru.iter().position(|&k| k == key) {
-            self.lru.remove(pos);
-            self.lru.push_back(key);
-        }
-    }
-
-    fn insert(&mut self, key: u64, plan: DipPlan) {
-        if self.config.cache_capacity == 0 {
-            return;
-        }
-        while self.cache.len() >= self.config.cache_capacity {
-            let Some(oldest) = self.lru.pop_front() else {
-                break;
-            };
-            self.cache.remove(&oldest);
-            self.stats.evictions += 1;
-        }
-        self.cache.insert(key, plan);
-        self.lru.push_back(key);
     }
 }
 
@@ -451,6 +704,95 @@ mod tests {
         )
     }
 
+    /// A stand-in plan for LRU unit tests (never simulated).
+    fn dummy_plan(spec: &LmmSpec, cluster: &ClusterSpec) -> DipPlan {
+        let planner = DipPlanner::new(
+            spec,
+            ParallelConfig::new(4, 4, 1),
+            cluster,
+            PlannerConfig::no_opt(),
+        );
+        planner.plan_iteration(&[vlm_batch(4)]).unwrap()
+    }
+
+    #[test]
+    fn sessions_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<PlanningSession<'static>>();
+    }
+
+    #[test]
+    fn lru_cache_is_o1_and_keeps_its_invariants() {
+        let spec = zoo::vlm_s();
+        let cluster = ClusterSpec::h800_cluster(2);
+        let plan = dummy_plan(&spec, &cluster);
+        let mut lru = LruCache::default();
+        lru.assert_invariants();
+
+        // Fill to capacity 3.
+        for key in [1u64, 2, 3] {
+            assert_eq!(lru.insert(key, plan.clone(), 3), 0);
+            lru.assert_invariants();
+        }
+        assert_eq!(lru.len(), 3);
+        assert_eq!(lru.head, Some(3));
+        assert_eq!(lru.tail, Some(1));
+
+        // Touch the LRU entry: it moves to the front, nothing is evicted.
+        lru.touch(1);
+        lru.assert_invariants();
+        assert_eq!(lru.head, Some(1));
+        assert_eq!(lru.tail, Some(2));
+
+        // Inserting a fourth key evicts exactly the least recently used.
+        assert_eq!(lru.insert(4, plan.clone(), 3), 1);
+        lru.assert_invariants();
+        assert_eq!(lru.len(), 3);
+        assert!(lru.peek(2).is_none(), "2 was least recently used");
+        assert!(lru.peek(1).is_some() && lru.peek(3).is_some() && lru.peek(4).is_some());
+
+        // Re-inserting a cached key must not duplicate it in the recency
+        // list or evict anything (the old VecDeque recency queue kept the
+        // stale position and double-counted the key).
+        assert_eq!(lru.insert(3, plan.clone(), 3), 0);
+        lru.assert_invariants();
+        assert_eq!(lru.len(), 3);
+        assert_eq!(lru.head, Some(3));
+
+        // Touching an absent key is a no-op.
+        lru.touch(99);
+        lru.assert_invariants();
+        assert_eq!(lru.len(), 3);
+
+        lru.clear();
+        lru.assert_invariants();
+        assert_eq!(lru.len(), 0);
+        assert_eq!(lru.head, None);
+        assert_eq!(lru.tail, None);
+    }
+
+    #[test]
+    fn repeated_reinsertion_does_not_skew_evictions() {
+        let spec = zoo::vlm_s();
+        let cluster = ClusterSpec::h800_cluster(2);
+        let plan = dummy_plan(&spec, &cluster);
+        let mut lru = LruCache::default();
+        let mut evictions = 0u64;
+        // Hammer two keys into a capacity-2 cache: no eviction should ever
+        // happen, and the structure must stay exactly two entries.
+        for round in 0..10u64 {
+            evictions += lru.insert(round % 2, plan.clone(), 2);
+            lru.assert_invariants();
+        }
+        assert_eq!(evictions, 0);
+        assert_eq!(lru.len(), 2);
+        // A third key evicts exactly one entry.
+        evictions += lru.insert(7, plan.clone(), 2);
+        assert_eq!(evictions, 1);
+        assert_eq!(lru.len(), 2);
+        lru.assert_invariants();
+    }
+
     #[test]
     fn request_signatures_track_workload_identity() {
         let a = request(&[10, 20]);
@@ -470,7 +812,7 @@ mod tests {
     fn cache_hit_returns_an_identical_plan() {
         let spec = zoo::vlm_s();
         let cluster = ClusterSpec::h800_cluster(2);
-        let mut session = session(&spec, &cluster, SessionConfig::default());
+        let session = session(&spec, &cluster, SessionConfig::default());
         let req = request(&[10, 40, 2, 30]);
 
         let first = session.plan(&req).unwrap();
@@ -517,7 +859,7 @@ mod tests {
             .collect();
 
         let run = |config: SessionConfig| {
-            let mut s = session(&spec, &cluster, config);
+            let s = session(&spec, &cluster, config);
             let mut total = Duration::ZERO;
             for req in &trace {
                 let outcome = s.plan(req).unwrap();
@@ -548,7 +890,7 @@ mod tests {
             cache_capacity: 1,
             warm_start: true,
         };
-        let mut session = session(&spec, &cluster, config);
+        let session = session(&spec, &cluster, config);
         let a = request(&[8, 32]);
         let b = request(&[40, 4]);
 
@@ -601,7 +943,7 @@ mod tests {
     fn empty_requests_are_rejected() {
         let spec = zoo::vlm_s();
         let cluster = ClusterSpec::h800_cluster(2);
-        let mut session = session(&spec, &cluster, SessionConfig::default());
+        let session = session(&spec, &cluster, SessionConfig::default());
         let err = session.plan(&PlanRequest::default()).unwrap_err();
         assert!(matches!(err, DipError::InvalidRequest(_)));
         assert!(err.to_string().contains("zero microbatches"));
@@ -611,10 +953,77 @@ mod tests {
     fn zero_capacity_disables_caching() {
         let spec = zoo::vlm_s();
         let cluster = ClusterSpec::h800_cluster(2);
-        let mut session = session(&spec, &cluster, SessionConfig::cold());
+        let session = session(&spec, &cluster, SessionConfig::cold());
         let req = request(&[8, 32]);
         assert!(!session.plan(&req).unwrap().cache_hit);
         assert!(!session.plan(&req).unwrap().cache_hit);
         assert_eq!(session.cached_plans(), 0);
+    }
+
+    #[test]
+    fn plan_many_matches_sequential_planning() {
+        let spec = zoo::vlm_s();
+        let cluster = ClusterSpec::h800_cluster(2);
+        let mut parallel = session(&spec, &cluster, SessionConfig::default());
+        parallel.offline_partition(&vlm_batch(40)).unwrap();
+        let requests: Vec<PlanRequest> = [&[8u64, 32][..], &[40, 4], &[10, 20], &[8, 32]]
+            .iter()
+            .map(|counts| request(counts))
+            .collect();
+
+        let outcomes = parallel.plan_many(&requests);
+        assert_eq!(outcomes.len(), requests.len());
+        for (i, outcome) in outcomes.iter().enumerate() {
+            let outcome = outcome.as_ref().expect("plan_many result");
+            assert_eq!(outcome.signature, requests[i].signature());
+            assert_eq!(
+                outcome.plan.orders.num_stages(),
+                outcome.plan.graph.items.len()
+            );
+        }
+        // All four requests were served; the duplicate signature either hit
+        // the cache or raced its twin, but is cached afterwards either way.
+        let stats = parallel.stats();
+        assert_eq!(stats.requests, 4);
+        assert_eq!(stats.requests, stats.cache_hits + stats.cache_misses);
+        assert!(parallel.plan(&requests[0]).unwrap().cache_hit);
+    }
+
+    #[test]
+    fn plan_many_pins_one_placement_for_heterogeneous_first_batches() {
+        let spec = zoo::vlm_s();
+        let cluster = ClusterSpec::h800_cluster(2);
+        // Fresh session: no offline partition yet.
+        let session = session(&spec, &cluster, SessionConfig::default());
+        assert!(session.planner().partition_output().is_none());
+        // Very different shapes in one slice: the partition must be pinned
+        // once (from the heaviest microbatch of the slice), not raced
+        // per-worker.
+        let requests = vec![request(&[0, 0]), request(&[48, 48])];
+        let outcomes = session.plan_many(&requests);
+        assert!(outcomes.iter().all(Result::is_ok));
+        let placement = session
+            .planner()
+            .partition_output()
+            .expect("plan_many pinned the placement");
+        // The pinned representative is the heaviest microbatch across the
+        // whole slice, deterministically.
+        let expected = session
+            .planner()
+            .offline_partition(&vlm_batch(48))
+            .unwrap()
+            .placement;
+        assert_eq!(placement.placement, expected);
+    }
+
+    #[test]
+    fn plan_many_reports_per_request_errors() {
+        let spec = zoo::vlm_s();
+        let cluster = ClusterSpec::h800_cluster(2);
+        let session = session(&spec, &cluster, SessionConfig::default());
+        let requests = vec![request(&[8, 32]), PlanRequest::default()];
+        let outcomes = session.plan_many(&requests);
+        assert!(outcomes[0].is_ok());
+        assert!(matches!(outcomes[1], Err(DipError::InvalidRequest(_))));
     }
 }

@@ -204,6 +204,7 @@ impl FromIterator<(Modality, ModalityWorkload)> for BatchWorkload {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
 
     #[test]
     fn split_preserves_totals() {
@@ -296,5 +297,43 @@ mod tests {
         let mut b = BatchWorkload::new().with(Modality::Image, ModalityWorkload::from_tokens(20));
         b.merge(&a);
         assert_eq!(b.total_tokens(), 30);
+    }
+
+    proptest! {
+        /// The canonical signature must not depend on the order in which
+        /// modalities are inserted into the per-modality map — the plan
+        /// cache keys on it, so any iteration-order sensitivity would turn
+        /// equal workloads into spurious cache misses.
+        #[test]
+        fn signature_is_stable_under_modality_insertion_order(
+            entries in prop::collection::vec(
+                (0usize..Modality::ALL.len(), 1u64..100_000, 1u64..64),
+                1..6,
+            ),
+            rotation in 0usize..6,
+        ) {
+            let entries: Vec<(Modality, ModalityWorkload)> = entries
+                .into_iter()
+                .map(|(m, tokens, seqs)| {
+                    (Modality::ALL[m], ModalityWorkload::new(tokens, seqs))
+                })
+                .collect();
+
+            // Insertion in the generated order (later duplicates accumulate
+            // via `add`, matching `FromIterator`).
+            let forward: BatchWorkload = entries.iter().copied().collect();
+            // Reversed and rotated orders accumulate per-modality in a
+            // different sequence but reach the same totals.
+            let reversed: BatchWorkload = entries.iter().rev().copied().collect();
+            let rotation = rotation % entries.len().max(1);
+            let rotated: BatchWorkload = entries[rotation..]
+                .iter()
+                .chain(&entries[..rotation])
+                .copied()
+                .collect();
+
+            prop_assert_eq!(forward.signature(), reversed.signature());
+            prop_assert_eq!(forward.signature(), rotated.signature());
+        }
     }
 }

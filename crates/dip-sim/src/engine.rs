@@ -166,15 +166,38 @@ pub struct EngineReport {
     pub records: Vec<TaskRecord>,
 }
 
+/// Rounding tolerance for busy-versus-available time comparisons: the two
+/// are accumulated in different summation orders, so they may disagree by a
+/// few ulps even in a consistent report.
+fn busy_time_tolerance(available: f64) -> f64 {
+    available * 1e-9 + 1e-12
+}
+
 impl EngineReport {
-    /// Aggregate bubble fraction: idle time divided by total rank-time.
+    /// Aggregate bubble fraction: idle time divided by total rank-time,
+    /// computed exactly. Busy time can never exceed rank-time in a
+    /// consistent report (tasks on one rank are serialised within the
+    /// makespan), so a meaningfully negative result indicates busy-time
+    /// over-accounting upstream — asserted in debug builds rather than
+    /// silently clamped to zero, which used to hide exactly that class of
+    /// bug. Only a negative within the float-summation tolerance is
+    /// flushed to zero, keeping the result in `0..=1`.
     pub fn bubble_fraction(&self) -> f64 {
         let total: f64 = self.ranks.len() as f64 * self.makespan;
         if total <= 0.0 {
             return 0.0;
         }
         let busy: f64 = self.ranks.iter().map(|r| r.busy_s).sum();
-        ((total - busy) / total).max(0.0)
+        debug_assert!(
+            busy <= total + busy_time_tolerance(total),
+            "busy time {busy} exceeds total rank-time {total}: over-accounted durations"
+        );
+        let bubble = (total - busy) / total;
+        if bubble < 0.0 && busy <= total + busy_time_tolerance(total) {
+            0.0
+        } else {
+            bubble
+        }
     }
 
     /// The highest peak memory across ranks.
@@ -323,7 +346,24 @@ impl SimEngine {
         for rank in &mut ranks {
             rank.tasks
                 .sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
-            rank.bubble_s = (makespan - rank.busy_s).max(0.0);
+            // Same-rank tasks are serialised, so their summed durations
+            // cannot exceed the makespan (the max over task end times):
+            // computed exactly, with the invariant asserted instead of the
+            // old `.max(0.0)` clamp that masked over-accounting. Only a
+            // float-summation ulp of negativity is flushed to zero.
+            debug_assert!(
+                rank.busy_s <= makespan + busy_time_tolerance(makespan),
+                "rank {} busy {} exceeds makespan {makespan}",
+                rank.rank,
+                rank.busy_s
+            );
+            let bubble = makespan - rank.busy_s;
+            rank.bubble_s =
+                if bubble < 0.0 && rank.busy_s <= makespan + busy_time_tolerance(makespan) {
+                    0.0
+                } else {
+                    bubble
+                };
         }
 
         // Memory timelines: events at task starts and ends.
@@ -443,6 +483,39 @@ mod tests {
         e.add_task(Task::compute(0, 1.0, TaskKind::Forward).after(TaskId(1), 0.0));
         e.add_task(Task::compute(0, 1.0, TaskKind::Forward));
         assert_eq!(e.run(), Err(EngineError::DependencyCycle));
+    }
+
+    #[test]
+    fn bubble_fraction_is_exact() {
+        // 2 ranks, makespan 2.0, busy 2.0 + 1.0: bubble = (4 - 3) / 4.
+        let mut e = SimEngine::new(2);
+        let a = e.add_task(Task::compute(0, 2.0, TaskKind::Forward));
+        let _b = e.add_task(Task::compute(1, 1.0, TaskKind::Forward).after(a, 0.0));
+        let report = e.run().unwrap();
+        assert_eq!(report.makespan, 3.0);
+        assert_eq!(report.bubble_fraction(), (6.0 - 3.0) / 6.0);
+        assert_eq!(report.ranks[0].bubble_s, 1.0);
+        assert_eq!(report.ranks[1].bubble_s, 2.0);
+    }
+
+    /// Regression: a report whose busy time was over-accounted (busy >
+    /// ranks × makespan) used to be silently clamped to a bubble fraction
+    /// of 0.0; it must now trip the debug assertion instead of hiding the
+    /// inconsistency.
+    #[test]
+    #[should_panic(expected = "over-accounted durations")]
+    #[cfg(debug_assertions)]
+    fn over_accounted_busy_time_is_detected() {
+        let report = EngineReport {
+            makespan: 1.0,
+            ranks: vec![RankTimeline {
+                rank: 0,
+                busy_s: 1.5,
+                ..RankTimeline::default()
+            }],
+            records: Vec::new(),
+        };
+        let _ = report.bubble_fraction();
     }
 
     #[test]

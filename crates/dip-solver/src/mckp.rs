@@ -35,10 +35,16 @@ pub struct MckpSolution {
 /// feasible selection exists (e.g. even the lightest items overflow the
 /// capacity) or when `groups` is empty.
 ///
-/// `resolution` controls the number of DP buckets the capacity is divided
-/// into; weights are rounded *up* to the next bucket so the returned
-/// selection never violates the true capacity. A resolution of 1024–4096 is
-/// plenty for the memory ranges DIP deals with.
+/// `resolution` bounds the number of DP buckets the capacity is divided
+/// into. Weight quantisation is anchored at the capacity — an item of
+/// weight `w` occupies `⌈w·N/capacity⌉` of the `N` buckets — so rounding
+/// *up* can only be conservative (the returned selection never violates
+/// the true capacity), while an item weighing exactly `capacity` still
+/// fits. (A previous formulation derived the bucket count by truncating
+/// `capacity / bucket_width` while rounding item weights up, so feasible
+/// items whose rounded weight landed on the capacity boundary were
+/// rejected whenever the width did not divide the capacity.) A resolution
+/// of 1024–4096 is plenty for the memory ranges DIP deals with.
 pub fn solve_mckp(
     groups: &[Vec<MckpItem>],
     capacity: u64,
@@ -47,93 +53,27 @@ pub fn solve_mckp(
     if groups.is_empty() || groups.iter().any(Vec::is_empty) {
         return None;
     }
-    let resolution = resolution.max(1);
-    // Bucket width; ensure non-zero even for tiny capacities.
-    let bucket = (capacity / resolution as u64).max(1);
-    let num_buckets = (capacity / bucket) as usize;
-    let to_buckets = |w: u64| -> usize { w.div_ceil(bucket) as usize };
+    // At most one bucket per weight unit is ever needed; `capacity == 0`
+    // degenerates to a single zero-weight bucket.
+    let num_buckets = (resolution.max(1) as u64).min(capacity) as usize;
+    let to_buckets = |w: u64| -> usize {
+        if w == 0 || capacity == 0 {
+            return 0;
+        }
+        // ⌈w·N/capacity⌉ in u128 to avoid overflow for byte-scale weights.
+        ((w as u128 * num_buckets as u128).div_ceil(capacity as u128)) as usize
+    };
 
     const INF: f64 = f64::INFINITY;
-    // dp[b] = minimal cost achieving total bucketed weight exactly ≤ b after
-    // processing the groups so far; choice[g][b] = item picked for group g.
+    // dp[b] = minimal cost achieving total bucketed weight exactly b after
+    // the groups processed so far; choices/parents remember, per group, the
+    // item picked and the predecessor bucket, so the selection can be
+    // reconstructed in one backwards walk.
     let mut dp = vec![INF; num_buckets + 1];
     dp[0] = 0.0;
     let mut choices: Vec<Vec<usize>> = Vec::with_capacity(groups.len());
-
-    let mut used = vec![false; num_buckets + 1];
-    used[0] = true;
-
-    for group in groups {
-        let mut next = vec![INF; num_buckets + 1];
-        let mut next_used = vec![false; num_buckets + 1];
-        let mut choice = vec![usize::MAX; num_buckets + 1];
-        for b in 0..=num_buckets {
-            if !used[b] || dp[b] == INF {
-                continue;
-            }
-            for (idx, item) in group.iter().enumerate() {
-                let wb = to_buckets(item.weight);
-                let nb = b + wb;
-                if nb > num_buckets {
-                    continue;
-                }
-                let cost = dp[b] + item.cost;
-                if cost < next[nb] {
-                    next[nb] = cost;
-                    next_used[nb] = true;
-                    choice[nb] = idx;
-                }
-            }
-        }
-        dp = next;
-        used = next_used;
-        choices.push(choice);
-    }
-
-    // Find the best final bucket.
-    let mut best_bucket = None;
-    let mut best_cost = INF;
-    for b in 0..=num_buckets {
-        if used[b] && dp[b] < best_cost {
-            best_cost = dp[b];
-            best_bucket = Some(b);
-        }
-    }
-    let best_bucket = best_bucket?;
-
-    // The DP above only remembers the last group's choice per bucket; to
-    // reconstruct the full selection we re-run the DP per group boundary.
-    // For the group counts DIP uses (a handful of layers per stage pair)
-    // a simple backwards reconstruction by re-solving prefixes is cheap.
-    let selection = reconstruct(groups, capacity, bucket, num_buckets, best_bucket)?;
-
-    let weight = selection
-        .iter()
-        .zip(groups)
-        .map(|(&i, g)| g[i].weight)
-        .sum();
-    Some(MckpSolution {
-        cost: selection.iter().zip(groups).map(|(&i, g)| g[i].cost).sum(),
-        selection,
-        weight,
-    })
-}
-
-/// Reconstructs an optimal selection by dynamic programming with full
-/// per-group choice tables (memory O(groups × buckets)).
-fn reconstruct(
-    groups: &[Vec<MckpItem>],
-    _capacity: u64,
-    bucket: u64,
-    num_buckets: usize,
-    target_bucket: usize,
-) -> Option<Vec<usize>> {
-    const INF: f64 = f64::INFINITY;
-    let to_buckets = |w: u64| -> usize { w.div_ceil(bucket) as usize };
-    let mut dp = vec![INF; num_buckets + 1];
-    dp[0] = 0.0;
-    let mut tables: Vec<Vec<usize>> = Vec::with_capacity(groups.len());
     let mut parents: Vec<Vec<usize>> = Vec::with_capacity(groups.len());
+
     for group in groups {
         let mut next = vec![INF; num_buckets + 1];
         let mut choice = vec![usize::MAX; num_buckets + 1];
@@ -143,6 +83,9 @@ fn reconstruct(
                 continue;
             }
             for (idx, item) in group.iter().enumerate() {
+                if item.weight > capacity {
+                    continue;
+                }
                 let nb = b + to_buckets(item.weight);
                 if nb > num_buckets {
                     continue;
@@ -156,20 +99,40 @@ fn reconstruct(
             }
         }
         dp = next;
-        tables.push(choice);
+        choices.push(choice);
         parents.push(parent);
     }
-    let mut selection = vec![0usize; groups.len()];
-    let mut b = target_bucket;
-    for g in (0..groups.len()).rev() {
-        let idx = tables[g][b];
-        if idx == usize::MAX {
-            return None;
+
+    // Find the best final bucket.
+    let mut best_bucket = None;
+    let mut best_cost = INF;
+    for (b, &cost) in dp.iter().enumerate() {
+        if cost < best_cost {
+            best_cost = cost;
+            best_bucket = Some(b);
         }
+    }
+    let mut b = best_bucket?;
+
+    let mut selection = vec![0usize; groups.len()];
+    for g in (0..groups.len()).rev() {
+        let idx = choices[g][b];
+        debug_assert_ne!(idx, usize::MAX, "reachable bucket without a choice");
         selection[g] = idx;
         b = parents[g][b];
     }
-    Some(selection)
+
+    let weight = selection
+        .iter()
+        .zip(groups)
+        .map(|(&i, g)| g[i].weight)
+        .sum();
+    debug_assert!(weight <= capacity, "bucket rounding violated the capacity");
+    Some(MckpSolution {
+        cost: best_cost,
+        selection,
+        weight,
+    })
 }
 
 #[cfg(test)]
@@ -228,6 +191,44 @@ mod tests {
         assert_eq!(sol.weight, 0);
     }
 
+    /// Regression for the bucket-rounding off-by-one: with `capacity = 10`
+    /// and `resolution = 3` the old formulation used a bucket width of 3
+    /// and only `⌊10/3⌋ = 3` buckets, while an item of weight 10 rounded up
+    /// to `⌈10/3⌉ = 4` buckets — a feasible item sitting exactly on the
+    /// capacity boundary was rejected.
+    #[test]
+    fn item_weighing_exactly_the_capacity_is_feasible() {
+        let groups = vec![vec![item(1.0, 10)]];
+        for resolution in [1usize, 2, 3, 4, 7, 10, 1024] {
+            let sol = solve_mckp(&groups, 10, resolution).unwrap_or_else(|| {
+                panic!("weight == capacity rejected at resolution {resolution}")
+            });
+            assert_eq!(sol.selection, vec![0]);
+            assert_eq!(sol.weight, 10);
+        }
+    }
+
+    /// The capacity-boundary item must also win over a lighter, costlier
+    /// alternative (the pre-fix solver silently fell back to it).
+    #[test]
+    fn boundary_item_beats_costlier_light_alternative() {
+        let groups = vec![vec![item(9.0, 1), item(1.0, 10)]];
+        let sol = solve_mckp(&groups, 10, 3).unwrap();
+        assert_eq!(sol.selection, vec![1]);
+        assert_eq!(sol.weight, 10);
+        assert!((sol.cost - 1.0).abs() < 1e-9);
+    }
+
+    /// Items heavier than the capacity stay infeasible at every resolution,
+    /// and capacity 0 admits only zero-weight selections.
+    #[test]
+    fn boundary_values_around_the_capacity() {
+        assert!(solve_mckp(&[vec![item(1.0, 11)]], 10, 3).is_none());
+        assert!(solve_mckp(&[vec![item(1.0, 1)]], 0, 64).is_none());
+        let sol = solve_mckp(&[vec![item(1.0, 0)]], 0, 64).unwrap();
+        assert_eq!(sol.weight, 0);
+    }
+
     proptest! {
         /// The DP solution never violates the capacity and always matches
         /// brute force on small instances.
@@ -278,8 +279,58 @@ mod tests {
                     prop_assert!(false, "solver found {sol:?} but brute force says infeasible");
                 }
                 (None, Some(_)) => {
-                    // Acceptable only if rounding-up made it infeasible; that
-                    // requires a weight close to capacity. Accept silently.
+                    // Acceptable only when rounding-up makes a multi-item
+                    // combination conservative; single items never trigger
+                    // this any more (see the boundary tests).
+                }
+            }
+        }
+
+        /// With resolution ≥ capacity the DP is exact: it agrees with brute
+        /// force on feasibility and optimal cost.
+        #[test]
+        fn exact_at_full_resolution(
+            groups in prop::collection::vec(
+                prop::collection::vec((0.0f64..100.0, 0u64..32), 1..4),
+                1..4,
+            ),
+            capacity in 1u64..96,
+        ) {
+            let groups: Vec<Vec<MckpItem>> = groups
+                .into_iter()
+                .map(|g| g.into_iter().map(|(c, w)| item(c, w)).collect())
+                .collect();
+            let dp = solve_mckp(&groups, capacity, capacity as usize);
+
+            let mut best: Option<f64> = None;
+            let mut indices = vec![0usize; groups.len()];
+            'outer: loop {
+                let weight: u64 = indices.iter().zip(&groups).map(|(&i, g)| g[i].weight).sum();
+                let cost: f64 = indices.iter().zip(&groups).map(|(&i, g)| g[i].cost).sum();
+                if weight <= capacity && best.is_none_or(|bc| cost < bc) {
+                    best = Some(cost);
+                }
+                for k in (0..groups.len()).rev() {
+                    indices[k] += 1;
+                    if indices[k] < groups[k].len() {
+                        continue 'outer;
+                    }
+                    indices[k] = 0;
+                    if k == 0 {
+                        break 'outer;
+                    }
+                }
+            }
+
+            match (dp, best) {
+                (Some(sol), Some(best_cost)) => {
+                    prop_assert!(sol.weight <= capacity);
+                    prop_assert!((sol.cost - best_cost).abs() < 1e-9,
+                        "dp cost {} vs brute force {}", sol.cost, best_cost);
+                }
+                (None, None) => {}
+                (dp, best) => {
+                    prop_assert!(false, "feasibility disagrees: dp {dp:?} vs brute {best:?}");
                 }
             }
         }

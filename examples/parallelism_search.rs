@@ -26,8 +26,7 @@ fn main() {
             let parallel = ParallelConfig::new(tp, pp, dp);
             // One session per layout: the plan cache is keyed by workload
             // signature, which is layout-independent.
-            let mut session =
-                PlanningSession::new(&spec, parallel, &cluster, PlannerConfig::fast());
+            let session = PlanningSession::new(&spec, parallel, &cluster, PlannerConfig::fast());
             match session.plan_and_simulate(&request) {
                 Ok((_, outcome)) => {
                     println!(

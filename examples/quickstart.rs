@@ -38,7 +38,7 @@ fn main() {
     // DIP: a planning session over the modality-aware partitioner, schedule
     // search and memory optimisation. Sessions cache plans by workload
     // signature, so re-planning a repeated shape is (nearly) free.
-    let mut session = PlanningSession::new(&spec, parallel, &cluster, PlannerConfig::fast());
+    let session = PlanningSession::new(&spec, parallel, &cluster, PlannerConfig::fast());
     let request = PlanRequest::new(batches.clone());
     let (outcome, dip) = session.plan_and_simulate(&request).expect("DIP planning");
     let plan = &outcome.plan;

@@ -16,7 +16,7 @@ fn main() {
     let parallel = ParallelConfig::new(4, 4, 1);
 
     let mut generator = BatchGenerator::t2v(DatasetMix::t2v_default(), 8, 7);
-    let mut session = PlanningSession::new(&spec, parallel, &cluster, PlannerConfig::fast());
+    let session = PlanningSession::new(&spec, parallel, &cluster, PlannerConfig::fast());
     let ctx = BaselineContext::new(&spec, parallel, &cluster);
 
     println!(

@@ -45,7 +45,7 @@ fn second_pass_over_a_replayed_trace_is_served_from_the_cache() {
     let parallel = ParallelConfig::new(4, 4, 1);
     let requests = replayed_requests(4, 2);
 
-    let mut session = PlanningSession::new(&spec, parallel, &cluster, planner_config());
+    let session = PlanningSession::new(&spec, parallel, &cluster, planner_config());
     let mut first_pass = Vec::new();
     for (i, request) in requests.iter().enumerate() {
         let (outcome, execution) = session.plan_and_simulate(request).unwrap();
@@ -80,7 +80,7 @@ fn plan_cache_cuts_total_planning_time_at_least_2x_on_a_repeated_trace() {
     let requests = replayed_requests(3, 3);
 
     let total_planning = |session_config: SessionConfig| {
-        let mut session = PlanningSession::with_config(
+        let session = PlanningSession::with_config(
             &spec,
             parallel,
             &cluster,
@@ -112,6 +112,84 @@ fn workload_signatures_of_a_replayed_trace_repeat_exactly() {
     assert_ne!(signatures[0], signatures[1]);
 }
 
+/// Eight threads hammer one shared session with pre-warmed shapes: every
+/// concurrent request must hit the cache, and the hit/miss/eviction totals
+/// must come out exact — no lost updates, no double counting.
+#[test]
+fn shared_session_serves_eight_threads_with_exact_totals() {
+    let spec = zoo::vlm_s();
+    let cluster = ClusterSpec::h800_cluster(2);
+    let parallel = ParallelConfig::new(4, 4, 1);
+    let session = PlanningSession::new(&spec, parallel, &cluster, planner_config());
+
+    let shapes: Vec<PlanRequest> = replayed_requests(3, 1);
+    for request in &shapes {
+        assert!(!session.plan(request).unwrap().cache_hit, "pre-warm miss");
+    }
+
+    const THREADS: usize = 8;
+    const ROUNDS: usize = 20;
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let session = &session;
+            let shapes = &shapes;
+            scope.spawn(move || {
+                for i in 0..ROUNDS {
+                    let request = &shapes[(t + i) % shapes.len()];
+                    let outcome = session.plan(request).unwrap();
+                    assert!(outcome.cache_hit, "thread {t} round {i} missed");
+                    assert_eq!(outcome.signature, request.signature());
+                }
+            });
+        }
+    });
+
+    let stats = session.stats();
+    assert_eq!(stats.requests, (shapes.len() + THREADS * ROUNDS) as u64);
+    assert_eq!(stats.cache_hits, (THREADS * ROUNDS) as u64);
+    assert_eq!(stats.cache_misses, shapes.len() as u64);
+    assert_eq!(stats.evictions, 0);
+    assert_eq!(stats.requests, stats.cache_hits + stats.cache_misses);
+    assert_eq!(session.cached_plans(), shapes.len());
+}
+
+/// `plan_many` plans a whole trace through the worker pool and returns the
+/// outcomes in request order, with the same signatures sequential planning
+/// would produce.
+#[test]
+fn plan_many_plans_a_trace_concurrently_in_request_order() {
+    let spec = zoo::vlm_s();
+    let cluster = ClusterSpec::h800_cluster(2);
+    let parallel = ParallelConfig::new(4, 4, 1);
+    let mut config = planner_config();
+    config.num_threads = 4;
+    let mut session = PlanningSession::new(&spec, parallel, &cluster, config);
+    // Pin the placement first so concurrent first-iteration planning does
+    // not race the offline phase.
+    let requests = replayed_requests(4, 2);
+    session
+        .offline_partition(&requests[0].microbatches()[0])
+        .unwrap();
+
+    let outcomes = session.plan_many(&requests);
+    assert_eq!(outcomes.len(), requests.len());
+    for (request, outcome) in requests.iter().zip(&outcomes) {
+        let outcome = outcome.as_ref().expect("plan_many outcome");
+        assert_eq!(outcome.signature, request.signature());
+        session.simulate(&outcome.plan).expect("plan is simulable");
+    }
+    let stats = session.stats();
+    assert_eq!(stats.requests, requests.len() as u64);
+    assert_eq!(stats.requests, stats.cache_hits + stats.cache_misses);
+    // The trace repeats each of the 4 shapes twice; every shape is planned
+    // at least once, and afterwards every shape is cached.
+    assert!(stats.cache_misses >= 4);
+    assert_eq!(session.cached_plans(), 4);
+    for request in &requests {
+        assert!(session.plan(request).unwrap().cache_hit);
+    }
+}
+
 #[test]
 fn warm_start_does_not_change_plan_validity_and_helps_the_incumbent() {
     let spec = zoo::vlm_s();
@@ -119,7 +197,7 @@ fn warm_start_does_not_change_plan_validity_and_helps_the_incumbent() {
     let parallel = ParallelConfig::new(4, 4, 1);
     let requests = replayed_requests(4, 1);
 
-    let mut session = PlanningSession::new(&spec, parallel, &cluster, planner_config());
+    let session = PlanningSession::new(&spec, parallel, &cluster, planner_config());
     for (i, request) in requests.iter().enumerate() {
         let outcome = session.plan(request).unwrap();
         assert_eq!(outcome.plan.stats.warm_started, i > 0);
