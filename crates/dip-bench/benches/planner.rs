@@ -65,7 +65,7 @@ fn bench_executor(c: &mut Criterion) {
             execute(
                 &graph,
                 &orders,
-                &cluster,
+                &cluster.topology(),
                 &timing,
                 &ExecutorConfig::new(parallel),
             )

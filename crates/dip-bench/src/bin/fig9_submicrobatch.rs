@@ -58,7 +58,7 @@ fn main() {
             let outcome = execute(
                 &graph,
                 &orders,
-                &cluster,
+                &cluster.topology(),
                 &timing,
                 &ExecutorConfig::new(parallel),
             )

@@ -19,10 +19,12 @@
 //!   partition microbatches, search a schedule (in parallel on CPU workers),
 //!   optimise memory and deploy the plan, per training iteration;
 //! * [`session`] — the thread-safe planning-session layer: plan requests
-//!   keyed by canonical workload signatures, a concurrent O(1) LRU plan
-//!   cache serving repeated shapes without re-planning, warm-started search
-//!   across iterations, and a [`PlanningSession::plan_many`] worker pool
-//!   for planning independent requests concurrently;
+//!   keyed by canonical workload signatures (with the cluster-topology
+//!   fingerprint folded into the cache key), a concurrent O(1) LRU plan
+//!   cache serving repeated shapes without re-planning (single-flight: a
+//!   stampeded fresh shape runs the planner exactly once), warm-started
+//!   search across iterations, and a [`PlanningSession::plan_many`] worker
+//!   pool for planning independent requests concurrently;
 //! * [`error`] — the unified [`DipError`] returned by every public planner
 //!   entry point;
 //! * [`monolithic`] — the monolithic-ILP baseline of §5.4 / Fig. 12, solved

@@ -9,8 +9,11 @@
 
 use crate::error::{DipError, ResultExt};
 use dip_models::{BatchWorkload, LmmSpec, ModalityWorkload, ModuleId, ModuleRole};
-use dip_pipeline::{separated_placement, ParallelConfig, Placement, SubMicrobatchPlan};
-use dip_sim::TimingModel;
+use dip_pipeline::{
+    capacity_aware_separated_placement, separated_placement, ParallelConfig, Placement,
+    PlacementMode, SubMicrobatchPlan,
+};
+use dip_sim::{ClusterTopology, TimingModel};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
@@ -25,6 +28,11 @@ pub struct PartitionerConfig {
     pub max_segments_per_module: usize,
     /// Upper bound on sub-microbatches per microbatch per module.
     pub max_sub_microbatches: usize,
+    /// How layers are distributed across the ranks' devices. The default
+    /// [`PlacementMode::CapacityAware`] follows per-device capability on
+    /// heterogeneous topologies and reduces bit-exactly to
+    /// [`PlacementMode::RoundRobin`] on uniform ones.
+    pub placement: PlacementMode,
 }
 
 impl Default for PartitionerConfig {
@@ -33,6 +41,7 @@ impl Default for PartitionerConfig {
             efficiency_target: 0.95,
             max_segments_per_module: 4,
             max_sub_microbatches: 8,
+            placement: PlacementMode::default(),
         }
     }
 }
@@ -56,10 +65,13 @@ pub struct ModalityAwarePartitioner<'a> {
     parallel: ParallelConfig,
     timing: TimingModel,
     config: PartitionerConfig,
+    topology: Option<ClusterTopology>,
 }
 
 impl<'a> ModalityAwarePartitioner<'a> {
-    /// Creates a partitioner.
+    /// Creates a partitioner. Without a topology
+    /// ([`ModalityAwarePartitioner::on_topology`]) the placement falls back
+    /// to the uniform round-robin layer split.
     pub fn new(
         spec: &'a LmmSpec,
         parallel: ParallelConfig,
@@ -71,7 +83,15 @@ impl<'a> ModalityAwarePartitioner<'a> {
             parallel,
             timing,
             config,
+            topology: None,
         }
+    }
+
+    /// Binds the partitioner to a cluster topology so the capacity-aware
+    /// placement mode can weigh layer counts by per-rank device capability.
+    pub fn on_topology(mut self, topology: &ClusterTopology) -> Self {
+        self.topology = Some(topology.clone());
+        self
     }
 
     /// Determines the sub-microbatch size for one module: the smallest number
@@ -141,7 +161,15 @@ impl<'a> ModalityAwarePartitioner<'a> {
     /// configuration leaves layers uncovered).
     pub fn partition(&self, representative: &BatchWorkload) -> Result<PartitionerOutput, DipError> {
         let segment_counts = self.segment_counts(representative);
-        let placement = separated_placement(self.spec, self.parallel, &segment_counts);
+        let placement = match (&self.topology, self.config.placement) {
+            (Some(topology), PlacementMode::CapacityAware) => capacity_aware_separated_placement(
+                self.spec,
+                self.parallel,
+                &segment_counts,
+                topology,
+            ),
+            _ => separated_placement(self.spec, self.parallel, &segment_counts),
+        };
         placement
             .validate(self.spec)
             .planning_context("offline modality-aware partitioning")?;

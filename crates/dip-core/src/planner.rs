@@ -12,7 +12,7 @@ use dip_pipeline::{
     dual_queue, execute, DualQueueConfig, ExecutionOutcome, ExecutorConfig, MemoryPlan,
     ParallelConfig, RankOrders, StageGraph, StageGraphBuilder, SubMicrobatchPlan,
 };
-use dip_sim::{ClusterSpec, EfficiencyModel, TimingModel};
+use dip_sim::{ClusterSpec, ClusterTopology, EfficiencyModel, TimingModel};
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use std::time::{Duration, Instant};
@@ -152,40 +152,80 @@ pub struct DipPlan {
 pub struct DipPlanner<'a> {
     spec: &'a LmmSpec,
     parallel: ParallelConfig,
-    cluster: &'a ClusterSpec,
+    topology: ClusterTopology,
     config: PlannerConfig,
     timing: TimingModel,
     partition: Mutex<Option<PartitionerOutput>>,
 }
 
 impl<'a> DipPlanner<'a> {
-    /// Creates a planner. The offline model-chunk partitioning happens on the
-    /// first planned iteration (or via [`DipPlanner::offline_partition`]).
+    /// Creates a planner for a homogeneous cluster. The offline model-chunk
+    /// partitioning happens on the first planned iteration (or via
+    /// [`DipPlanner::offline_partition`]).
     pub fn new(
         spec: &'a LmmSpec,
         parallel: ParallelConfig,
-        cluster: &'a ClusterSpec,
+        cluster: &ClusterSpec,
         config: PlannerConfig,
     ) -> Self {
-        let timing = TimingModel::new(cluster.gpu, config.efficiency);
+        Self::on_topology(spec, parallel, cluster.topology(), config)
+    }
+
+    /// Creates a planner over an explicit (possibly heterogeneous) cluster
+    /// topology: stage timings are priced on each rank's own device,
+    /// per-rank memory budgets follow the hosting device's capacity, and
+    /// the capacity-aware placement mode distributes layers by device
+    /// capability.
+    pub fn on_topology(
+        spec: &'a LmmSpec,
+        parallel: ParallelConfig,
+        topology: ClusterTopology,
+        config: PlannerConfig,
+    ) -> Self {
+        // Offline decisions that predate placement (segment counts,
+        // sub-microbatch sizes) are priced on the reference device.
+        let timing = TimingModel::new(topology.reference_device(), config.efficiency);
         Self {
             spec,
             parallel,
-            cluster,
+            topology,
             config,
             timing,
             partition: Mutex::new(None),
         }
     }
 
-    /// The timing model used by the planner.
+    /// The reference timing model used by the planner for offline decisions.
     pub fn timing(&self) -> &TimingModel {
         &self.timing
+    }
+
+    /// The cluster topology the planner plans for.
+    pub fn topology(&self) -> &ClusterTopology {
+        &self.topology
     }
 
     /// The planner configuration.
     pub fn config(&self) -> &PlannerConfig {
         &self.config
+    }
+
+    /// Activation-memory budget per pipeline rank: the usable memory of the
+    /// device hosting each rank minus that rank's static footprint.
+    fn activation_budget(&self, static_memory: &[u64]) -> Vec<u64> {
+        self.topology
+            .activation_budget(static_memory, self.parallel.tp)
+    }
+
+    /// A partitioner bound to this planner's topology and configuration.
+    fn partitioner(&self) -> ModalityAwarePartitioner<'a> {
+        ModalityAwarePartitioner::new(
+            self.spec,
+            self.parallel,
+            self.timing,
+            self.config.partitioner,
+        )
+        .on_topology(&self.topology)
     }
 
     /// Runs (or re-runs) the offline phase against a representative
@@ -200,13 +240,7 @@ impl<'a> DipPlanner<'a> {
         &self,
         representative: &BatchWorkload,
     ) -> Result<PartitionerOutput, DipError> {
-        let partitioner = ModalityAwarePartitioner::new(
-            self.spec,
-            self.parallel,
-            self.timing,
-            self.config.partitioner,
-        );
-        let output = partitioner.partition(representative)?;
+        let output = self.partitioner().partition(representative)?;
         *self.partition.lock() = Some(output.clone());
         Ok(output)
     }
@@ -233,13 +267,7 @@ impl<'a> DipPlanner<'a> {
         if let Some(p) = guard.clone() {
             return Ok(p);
         }
-        let partitioner = ModalityAwarePartitioner::new(
-            self.spec,
-            self.parallel,
-            self.timing,
-            self.config.partitioner,
-        );
-        let output = partitioner.partition(representative)?;
+        let output = self.partitioner().partition(representative)?;
         *guard = Some(output.clone());
         Ok(output)
     }
@@ -291,24 +319,16 @@ impl<'a> DipPlanner<'a> {
         }
         let start = Instant::now();
         let partition = self.ensure_partition(microbatches)?;
-        let partitioner = ModalityAwarePartitioner::new(
-            self.spec,
-            self.parallel,
-            self.timing,
-            self.config.partitioner,
-        );
-        let sub_plan = partitioner.sub_microbatch_plan(&partition, microbatches);
+        let sub_plan = self
+            .partitioner()
+            .sub_microbatch_plan(&partition, microbatches);
 
-        let builder = StageGraphBuilder::new(self.spec, &partition.placement, self.cluster)
-            .with_timing(self.timing);
+        let builder = StageGraphBuilder::new_on(self.spec, &partition.placement, &self.topology)
+            .with_efficiency(self.config.efficiency);
         let graph = builder
             .build(microbatches, &sub_plan)
             .planning_context("building stage graph")?;
-        let budget: Vec<u64> = graph
-            .static_memory
-            .iter()
-            .map(|s| self.cluster.gpu.usable_memory().saturating_sub(*s))
-            .collect();
+        let budget: Vec<u64> = self.activation_budget(&graph.static_memory);
         let base_queue = DualQueueConfig {
             memory_limit: Some(budget.clone()),
             ..DualQueueConfig::default()
@@ -357,8 +377,8 @@ impl<'a> DipPlanner<'a> {
         let memopt_start = Instant::now();
         let (graph, orders, memory_plan, planned_time) = if self.config.enable_memory_opt {
             let memory_plan = optimize_memory(&graph, &orders, &budget, &self.config.memory)?;
-            let graph = StageGraphBuilder::new(self.spec, &partition.placement, self.cluster)
-                .with_timing(self.timing)
+            let graph = StageGraphBuilder::new_on(self.spec, &partition.placement, &self.topology)
+                .with_efficiency(self.config.efficiency)
                 .with_memory_plan(memory_plan.clone())
                 .build(microbatches, &sub_plan)
                 .planning_context("rebuilding stage graph with memory plan")?;
@@ -403,7 +423,7 @@ impl<'a> DipPlanner<'a> {
         execute(
             &plan.graph,
             &plan.orders,
-            self.cluster,
+            &self.topology,
             &self.timing,
             &ExecutorConfig::new(self.parallel),
         )

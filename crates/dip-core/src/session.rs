@@ -9,11 +9,17 @@
 //!
 //! * every [`PlanRequest`] is keyed by a canonical [`WorkloadSignature`]
 //!   derived from the per-modality token/sequence counts of its
-//!   microbatches ([`dip_models::BatchWorkload::signature`]);
+//!   microbatches ([`dip_models::BatchWorkload::signature`]); the cache key
+//!   additionally folds in the cluster-topology fingerprint
+//!   ([`WorkloadSignature::with_topology`]), so plans produced for
+//!   different clusters never collide;
 //! * plans for already-seen signatures are served from an O(1) LRU cache in
 //!   microseconds instead of re-running the MCTS ordering search and the
 //!   memory ILP (the [`SessionStats`] hit/miss counters make the saving
-//!   observable);
+//!   observable); the hit path takes a single cache-lock acquisition;
+//! * fresh signatures are planned **single-flight**: threads stampeding on
+//!   the same new shape run the planner exactly once — one leader plans
+//!   while the rest wait and then serve the freshly cached plan as a hit;
 //! * on a cache miss, the ordering search is **warm-started** from the
 //!   previous iteration's best ordering
 //!   ([`crate::ordering_from_priorities`]), so similar-but-not-identical
@@ -65,9 +71,10 @@ use dip_models::{BatchWorkload, LmmSpec};
 use dip_pipeline::{ExecutionOutcome, ParallelConfig};
 use dip_sim::ClusterSpec;
 use parking_lot::{Mutex, RwLock};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::fmt;
-use std::sync::atomic::{AtomicUsize, Ordering as AtomicOrdering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering as AtomicOrdering};
+use std::sync::{Arc, Condvar as StdCondvar, Mutex as StdMutex};
 use std::time::{Duration, Instant};
 
 /// Canonical signature of one iteration's prefetched workload metadata.
@@ -97,6 +104,18 @@ impl WorkloadSignature {
     /// The raw 64-bit value.
     pub fn as_u64(self) -> u64 {
         self.0
+    }
+
+    /// Folds a cluster-topology fingerprint
+    /// ([`dip_sim::ClusterTopology::fingerprint`]) into the signature,
+    /// producing the plan-cache key: the same workload planned for two
+    /// different clusters yields two different keys, so their plans never
+    /// collide in a cache.
+    pub fn with_topology(self, fingerprint: u64) -> Self {
+        let mut z = self.0 ^ fingerprint.rotate_left(32);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        Self(z ^ (z >> 31))
     }
 }
 
@@ -226,7 +245,9 @@ impl SessionStats {
 /// one step less).
 #[derive(Debug)]
 struct LruEntry {
-    plan: DipPlan,
+    /// Shared so the hit path can hand out a cheap `Arc` clone under the
+    /// lock and deep-clone the plan outside the critical section.
+    plan: Arc<DipPlan>,
     prev: Option<u64>,
     next: Option<u64>,
 }
@@ -257,8 +278,21 @@ impl LruCache {
     }
 
     /// The cached plan for `key`, without updating recency.
+    #[cfg(test)]
     fn peek(&self, key: u64) -> Option<&DipPlan> {
-        self.entries.get(&key).map(|e| &e.plan)
+        self.entries.get(&key).map(|e| e.plan.as_ref())
+    }
+
+    /// The cached plan for `key`, marking it most recently used — lookup
+    /// and recency update under one `&mut` borrow, so the hit path needs a
+    /// single lock acquisition instead of a read-then-write pair. Returns a
+    /// cheap `Arc` handle so the caller deep-clones outside the lock.
+    fn get(&mut self, key: u64) -> Option<Arc<DipPlan>> {
+        if self.entries.contains_key(&key) {
+            self.unlink(key);
+            self.link_front(key);
+        }
+        self.entries.get(&key).map(|e| Arc::clone(&e.plan))
     }
 
     /// Unlinks `key` from the recency list (the entry stays in the map).
@@ -310,6 +344,7 @@ impl LruCache {
         if capacity == 0 {
             return 0;
         }
+        let plan = Arc::new(plan);
         if let Some(entry) = self.entries.get_mut(&key) {
             // Re-insertion of a cached key replaces the plan and refreshes
             // recency; it never grows the cache, so nothing is evicted.
@@ -370,9 +405,36 @@ impl LruCache {
 pub struct PlanningSession<'a> {
     planner: DipPlanner<'a>,
     config: SessionConfig,
+    /// Fingerprint of the planner's cluster topology, folded into every
+    /// cache key so plans for different clusters never collide.
+    topology_fingerprint: u64,
     cache: RwLock<LruCache>,
+    /// Cache keys currently being planned by some thread (single-flight
+    /// dedup); waiters sleep on the condvar until the leader finishes.
+    in_flight: StdMutex<HashSet<u64>>,
+    in_flight_cv: StdCondvar,
+    /// Number of plan-cache lock acquisitions taken by [`PlanningSession::plan`]
+    /// (hit path: exactly one per request).
+    cache_lock_acquisitions: AtomicU64,
     last_best_ordering: Mutex<Option<Vec<usize>>>,
     stats: Mutex<SessionStats>,
+}
+
+/// Removes a key from the in-flight set and wakes the waiters when the
+/// planning leader is done — on success, error or panic alike, so a failed
+/// leader can never strand its waiters.
+struct InFlightGuard<'s> {
+    set: &'s StdMutex<HashSet<u64>>,
+    cv: &'s StdCondvar,
+    key: u64,
+}
+
+impl Drop for InFlightGuard<'_> {
+    fn drop(&mut self) {
+        let mut set = self.set.lock().unwrap_or_else(|e| e.into_inner());
+        set.remove(&self.key);
+        self.cv.notify_all();
+    }
 }
 
 impl<'a> PlanningSession<'a> {
@@ -406,15 +468,32 @@ impl<'a> PlanningSession<'a> {
         )
     }
 
-    /// Wraps an existing planner into a session.
+    /// Wraps an existing planner into a session (the entry point for
+    /// heterogeneous clusters: build the planner with
+    /// [`DipPlanner::on_topology`] first).
     pub fn from_planner(planner: DipPlanner<'a>, config: SessionConfig) -> Self {
+        let topology_fingerprint = planner.topology().fingerprint();
         Self {
             planner,
             config,
+            topology_fingerprint,
             cache: RwLock::new(LruCache::default()),
+            in_flight: StdMutex::new(HashSet::new()),
+            in_flight_cv: StdCondvar::new(),
+            cache_lock_acquisitions: AtomicU64::new(0),
             last_best_ordering: Mutex::new(None),
             stats: Mutex::new(SessionStats::default()),
         }
+    }
+
+    /// The plan-cache key of a request: its [`WorkloadSignature`] with the
+    /// session's cluster-topology fingerprint folded in, so equal workloads
+    /// planned for different clusters key differently.
+    pub fn cache_key(&self, request: &PlanRequest) -> u64 {
+        request
+            .signature()
+            .with_topology(self.topology_fingerprint)
+            .as_u64()
     }
 
     /// The underlying planner, for read access (timing model, partition
@@ -468,10 +547,14 @@ impl<'a> PlanningSession<'a> {
 
     /// Plans one iteration, serving repeated workload signatures from the
     /// cache and warm-starting the search otherwise. Takes `&self`; see the
-    /// [module docs](self) on thread safety. Two threads missing on the
-    /// same fresh signature may both plan it (the second insert replaces
-    /// the first) — plans for equal signatures are interchangeable, so
-    /// correctness is unaffected.
+    /// [module docs](self) on thread safety.
+    ///
+    /// Fresh signatures are planned **single-flight**: when several threads
+    /// miss on the same key concurrently, exactly one runs the planner and
+    /// the rest sleep until its plan lands in the cache, then serve it as a
+    /// hit — a repeated shape never pays the planner twice, even under a
+    /// cache stampede. The hit path takes exactly one cache-lock
+    /// acquisition (lookup and LRU touch under one write lock).
     ///
     /// # Errors
     ///
@@ -485,35 +568,96 @@ impl<'a> PlanningSession<'a> {
         }
         let start = Instant::now();
         let signature = request.signature();
-        let key = signature.as_u64();
+        let key = signature.with_topology(self.topology_fingerprint).as_u64();
 
-        if self.config.cache_capacity > 0 {
-            // Fast path: clone the plan under the shared read lock; the
-            // recency update needs the write lock and is taken separately
-            // (touching a key evicted in between is a harmless no-op).
-            let cached = self.cache.read().peek(key).cloned();
-            if let Some(mut plan) = cached {
-                self.cache.write().touch(key);
-                // The plan is identical to the cached original; only the
-                // bookkeeping reflects the (near-zero) cost of serving it.
-                plan.stats.cache_hit = true;
-                plan.stats.planning_time = start.elapsed();
-                plan.stats.partition_time = Duration::ZERO;
-                plan.stats.search_time = Duration::ZERO;
-                plan.stats.memopt_time = Duration::ZERO;
-                let mut stats = self.stats.lock();
-                stats.requests += 1;
-                stats.cache_hits += 1;
-                stats.planning_time += plan.stats.planning_time;
-                drop(stats);
-                return Ok(PlanOutcome {
-                    plan,
-                    signature,
-                    cache_hit: true,
-                });
-            }
+        if self.config.cache_capacity == 0 {
+            // Caching disabled: nothing to deduplicate against.
+            return self.plan_fresh(request, signature, key, start);
         }
 
+        if let Some(outcome) = self.try_cached(key, signature, start) {
+            return Ok(outcome);
+        }
+
+        // Single-flight: become the planning leader for this key, or wait
+        // for the current leader and serve its freshly cached plan.
+        let mut in_flight = self.in_flight.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if in_flight.insert(key) {
+                break;
+            }
+            in_flight = self
+                .in_flight_cv
+                .wait(in_flight)
+                .unwrap_or_else(|e| e.into_inner());
+            if in_flight.contains(&key) {
+                continue;
+            }
+            drop(in_flight);
+            if let Some(outcome) = self.try_cached(key, signature, start) {
+                return Ok(outcome);
+            }
+            // The leader failed (or its plan was already evicted): try to
+            // become the leader ourselves.
+            in_flight = self.in_flight.lock().unwrap_or_else(|e| e.into_inner());
+        }
+        drop(in_flight);
+        let _guard = InFlightGuard {
+            set: &self.in_flight,
+            cv: &self.in_flight_cv,
+            key,
+        };
+        // A previous leader may have cached the plan between our initial
+        // lookup and the leadership acquisition — re-check so a late
+        // arrival never replans a cached signature (this is what makes
+        // "exactly one miss per stampeded signature" deterministic).
+        if let Some(outcome) = self.try_cached(key, signature, start) {
+            return Ok(outcome);
+        }
+        self.plan_fresh(request, signature, key, start)
+    }
+
+    /// The cache hit path: lookup and LRU touch under a single cache-lock
+    /// acquisition; the critical section hands out an `Arc` handle, so the
+    /// deep plan clone happens outside the lock and concurrent hits do not
+    /// serialize on it.
+    fn try_cached(
+        &self,
+        key: u64,
+        signature: WorkloadSignature,
+        start: Instant,
+    ) -> Option<PlanOutcome> {
+        self.cache_lock_acquisitions
+            .fetch_add(1, AtomicOrdering::Relaxed);
+        let cached = self.cache.write().get(key)?;
+        let mut plan = DipPlan::clone(&cached);
+        // The plan is identical to the cached original; only the
+        // bookkeeping reflects the (near-zero) cost of serving it.
+        plan.stats.cache_hit = true;
+        plan.stats.planning_time = start.elapsed();
+        plan.stats.partition_time = Duration::ZERO;
+        plan.stats.search_time = Duration::ZERO;
+        plan.stats.memopt_time = Duration::ZERO;
+        let mut stats = self.stats.lock();
+        stats.requests += 1;
+        stats.cache_hits += 1;
+        stats.planning_time += plan.stats.planning_time;
+        drop(stats);
+        Some(PlanOutcome {
+            plan,
+            signature,
+            cache_hit: true,
+        })
+    }
+
+    /// Runs the planner for a fresh signature and caches the result.
+    fn plan_fresh(
+        &self,
+        request: &PlanRequest,
+        signature: WorkloadSignature,
+        key: u64,
+        _start: Instant,
+    ) -> Result<PlanOutcome, DipError> {
         let seed = if self.config.warm_start {
             self.last_best_ordering.lock().clone()
         } else {
@@ -536,6 +680,8 @@ impl<'a> PlanningSession<'a> {
 
         *self.last_best_ordering.lock() = Some(ordering_from_priorities(&plan.segment_priorities));
         let evicted = if self.config.cache_capacity > 0 {
+            self.cache_lock_acquisitions
+                .fetch_add(1, AtomicOrdering::Relaxed);
             self.cache
                 .write()
                 .insert(key, plan.clone(), self.config.cache_capacity)
@@ -561,6 +707,15 @@ impl<'a> PlanningSession<'a> {
             signature,
             cache_hit: false,
         })
+    }
+
+    /// Cumulative number of plan-cache lock acquisitions taken by
+    /// [`PlanningSession::plan`] — exactly one per cache hit (lookup and
+    /// recency update share a single acquisition; the hit path never takes
+    /// a second lock), plus the miss path's failed lookup, post-leadership
+    /// re-check and insert.
+    pub fn cache_lock_acquisitions(&self) -> u64 {
+        self.cache_lock_acquisitions.load(AtomicOrdering::Relaxed)
     }
 
     /// Plans a slice of independent requests concurrently through a worker
@@ -958,6 +1113,75 @@ mod tests {
         assert!(!session.plan(&req).unwrap().cache_hit);
         assert!(!session.plan(&req).unwrap().cache_hit);
         assert_eq!(session.cached_plans(), 0);
+    }
+
+    #[test]
+    fn single_flight_plans_a_stampeded_signature_once() {
+        let spec = zoo::vlm_s();
+        let cluster = ClusterSpec::h800_cluster(2);
+        let session = session(&spec, &cluster, SessionConfig::default());
+        // Pin the placement so the workers don't race the offline phase.
+        session
+            .planner()
+            .offline_partition_if_absent(&vlm_batch(40))
+            .unwrap();
+        let req = request(&[8, 32]);
+        let threads = 4;
+        let barrier = std::sync::Barrier::new(threads);
+        crossbeam::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|_| {
+                    barrier.wait();
+                    let outcome = session.plan(&req).unwrap();
+                    assert_eq!(outcome.signature, req.signature());
+                });
+            }
+        })
+        .unwrap();
+        let stats = session.stats();
+        assert_eq!(stats.requests, threads as u64);
+        assert_eq!(
+            stats.cache_misses, 1,
+            "single-flight: exactly one thread runs the planner"
+        );
+        assert_eq!(stats.cache_hits, threads as u64 - 1);
+        assert_eq!(session.cached_plans(), 1);
+    }
+
+    #[test]
+    fn cache_hit_takes_exactly_one_cache_lock_acquisition() {
+        let spec = zoo::vlm_s();
+        let cluster = ClusterSpec::h800_cluster(2);
+        let session = session(&spec, &cluster, SessionConfig::default());
+        let req = request(&[8, 32]);
+        session.plan(&req).unwrap();
+        let before = session.cache_lock_acquisitions();
+        let outcome = session.plan(&req).unwrap();
+        assert!(outcome.cache_hit);
+        assert_eq!(
+            session.cache_lock_acquisitions() - before,
+            1,
+            "the hit path must not take a second lock for the LRU touch"
+        );
+    }
+
+    #[test]
+    fn cache_keys_fold_in_the_topology_fingerprint() {
+        let spec = zoo::vlm_s();
+        let h800 = ClusterSpec::h800_cluster(2);
+        let h20 = ClusterSpec::h20_cluster(2);
+        let on_h800 = session(&spec, &h800, SessionConfig::default());
+        let on_h800_again = session(&spec, &h800, SessionConfig::default());
+        let on_h20 = session(&spec, &h20, SessionConfig::default());
+        let req = request(&[8, 32]);
+        // Same workload, same cluster → same key; different cluster →
+        // different key, so plans for different topologies never collide.
+        assert_eq!(on_h800.cache_key(&req), on_h800_again.cache_key(&req));
+        assert_ne!(on_h800.cache_key(&req), on_h20.cache_key(&req));
+        // The workload signature itself stays cluster-independent.
+        let outcome = on_h800.plan(&req).unwrap();
+        assert_eq!(outcome.signature, req.signature());
+        assert_ne!(outcome.signature.as_u64(), on_h800.cache_key(&req));
     }
 
     #[test]

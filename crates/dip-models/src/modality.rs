@@ -68,6 +68,16 @@ impl ModuleRole {
             ModuleRole::Adapter => "adapter",
         }
     }
+
+    /// Whether stages of this role are memory-heavy modality stages
+    /// (encoders, decoders and their adapters hold large per-instance
+    /// activations relative to their FLOPs) rather than the FLOP-heavy
+    /// backbone. Capacity-aware placement uses this to decide whether a
+    /// module's layers should follow per-device HBM capacity or per-device
+    /// compute throughput.
+    pub fn is_memory_heavy(self) -> bool {
+        !matches!(self, ModuleRole::Backbone)
+    }
 }
 
 impl fmt::Display for ModuleRole {
@@ -92,6 +102,18 @@ mod tests {
             assert_eq!(m.to_string(), m.name());
         }
         assert_eq!(ModuleRole::Backbone.to_string(), "backbone");
+    }
+
+    #[test]
+    fn only_the_backbone_is_flop_heavy() {
+        assert!(!ModuleRole::Backbone.is_memory_heavy());
+        for role in [
+            ModuleRole::Encoder,
+            ModuleRole::Decoder,
+            ModuleRole::Adapter,
+        ] {
+            assert!(role.is_memory_heavy(), "{role} should be memory-heavy");
+        }
     }
 
     #[test]

@@ -48,7 +48,7 @@ pub fn simulate_fsdp(
     let collective_bytes = 3 * param_bytes;
     let comm_time =
         ctx.timing
-            .allreduce_latency(collective_bytes, num_gpus, ctx.cluster.gpu.net_bandwidth);
+            .allreduce_latency(collective_bytes, num_gpus, ctx.topology.min_net_bandwidth());
     let exposed_comm = comm_time * EXPOSED_COMM_FRACTION;
 
     // Optimizer step over the local parameter shard.
@@ -71,7 +71,7 @@ pub fn simulate_fsdp(
     IterationMetrics::new(
         iteration_time,
         total_model_flops,
-        ctx.cluster.gpu.peak_flops * num_gpus as f64,
+        ctx.topology.peak_flops_of(num_gpus),
         0.0,
         peak_memory as i64,
     )

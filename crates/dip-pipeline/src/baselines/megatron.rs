@@ -27,7 +27,8 @@ pub fn simulate_megatron(
     let placement = balanced_param_placement(ctx.spec, ctx.parallel, virtual_chunks.max(1));
     placement.validate(ctx.spec)?;
 
-    let builder = StageGraphBuilder::new(ctx.spec, &placement, ctx.cluster).with_timing(ctx.timing);
+    let builder = StageGraphBuilder::new_on(ctx.spec, &placement, &ctx.topology)
+        .with_efficiency(ctx.timing.efficiency);
     let plan = SubMicrobatchPlan::uniform(placement.segments.len(), microbatches.len());
     let graph = builder.build(microbatches, &plan)?;
 
@@ -44,7 +45,7 @@ pub fn simulate_megatron(
     execute(
         &graph,
         &orders,
-        ctx.cluster,
+        &ctx.topology,
         &ctx.timing,
         &ExecutorConfig::new(ctx.parallel),
     )

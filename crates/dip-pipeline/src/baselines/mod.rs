@@ -21,7 +21,7 @@ pub use optimus::simulate_optimus;
 
 use crate::placement::ParallelConfig;
 use dip_models::LmmSpec;
-use dip_sim::{ClusterSpec, EfficiencyModel, TimingModel};
+use dip_sim::{ClusterSpec, ClusterTopology, EfficiencyModel, TimingModel};
 
 /// Shared context for simulating one training iteration of a baseline.
 #[derive(Debug, Clone)]
@@ -30,35 +30,48 @@ pub struct BaselineContext<'a> {
     pub spec: &'a LmmSpec,
     /// The 3D parallelism configuration.
     pub parallel: ParallelConfig,
-    /// The simulated cluster.
-    pub cluster: &'a ClusterSpec,
-    /// The timing model (efficiency factors).
+    /// The simulated cluster topology (per-rank devices and links).
+    pub topology: ClusterTopology,
+    /// The reference timing model (efficiency factors; stage pricing uses
+    /// each rank's own device).
     pub timing: TimingModel,
 }
 
 impl<'a> BaselineContext<'a> {
-    /// A context with default (calibrated) efficiency factors.
+    /// A context for a homogeneous cluster with default (calibrated)
+    /// efficiency factors.
     pub fn new(spec: &'a LmmSpec, parallel: ParallelConfig, cluster: &'a ClusterSpec) -> Self {
+        Self::on_topology(spec, parallel, cluster.topology())
+    }
+
+    /// A context over an explicit (possibly heterogeneous) topology.
+    pub fn on_topology(
+        spec: &'a LmmSpec,
+        parallel: ParallelConfig,
+        topology: ClusterTopology,
+    ) -> Self {
+        let timing = TimingModel::new(topology.reference_device(), EfficiencyModel::default());
         Self {
             spec,
             parallel,
-            cluster,
-            timing: TimingModel::new(cluster.gpu, EfficiencyModel::default()),
+            topology,
+            timing,
         }
     }
 
-    /// Overrides the timing model.
+    /// Overrides the reference timing model. The pipeline baselines price
+    /// stage compute on each rank's own device and take only the
+    /// **efficiency factors** from this override; the analytical FSDP
+    /// baseline (no stage graph) uses it in full.
     pub fn with_timing(mut self, timing: TimingModel) -> Self {
         self.timing = timing;
         self
     }
 
-    /// Per-rank activation memory budget: usable GPU memory minus the static
-    /// footprint of the given per-rank static memory.
+    /// Per-rank activation memory budget: the usable memory of the device
+    /// hosting each rank minus the rank's static footprint.
     pub fn activation_budget(&self, static_memory: &[u64]) -> Vec<u64> {
-        static_memory
-            .iter()
-            .map(|s| self.cluster.gpu.usable_memory().saturating_sub(*s))
-            .collect()
+        self.topology
+            .activation_budget(static_memory, self.parallel.tp)
     }
 }

@@ -43,7 +43,8 @@ pub fn simulate_nnscaler(
     microbatches: &[BatchWorkload],
 ) -> Result<ExecutionOutcome, PipelineError> {
     placement.validate(ctx.spec)?;
-    let builder = StageGraphBuilder::new(ctx.spec, placement, ctx.cluster).with_timing(ctx.timing);
+    let builder = StageGraphBuilder::new_on(ctx.spec, placement, &ctx.topology)
+        .with_efficiency(ctx.timing.efficiency);
     let plan = SubMicrobatchPlan::uniform(placement.segments.len(), microbatches.len());
     let graph = builder.build(microbatches, &plan)?;
 
@@ -57,7 +58,7 @@ pub fn simulate_nnscaler(
     execute(
         &graph,
         &orders,
-        ctx.cluster,
+        &ctx.topology,
         &ctx.timing,
         &ExecutorConfig::new(ctx.parallel),
     )

@@ -39,7 +39,8 @@ pub fn simulate_optimus(
     let placement = separated_placement(ctx.spec, ctx.parallel, &BTreeMap::new());
     placement.validate(ctx.spec)?;
 
-    let builder = StageGraphBuilder::new(ctx.spec, &placement, ctx.cluster).with_timing(ctx.timing);
+    let builder = StageGraphBuilder::new_on(ctx.spec, &placement, &ctx.topology)
+        .with_efficiency(ctx.timing.efficiency);
     let plan = SubMicrobatchPlan::uniform(placement.segments.len(), microbatches.len());
     let graph = builder.build(microbatches, &plan)?;
 
@@ -72,7 +73,7 @@ pub fn simulate_optimus(
     execute(
         &graph,
         &orders,
-        ctx.cluster,
+        &ctx.topology,
         &ctx.timing,
         &ExecutorConfig::new(ctx.parallel),
     )

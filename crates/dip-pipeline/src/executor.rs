@@ -6,7 +6,7 @@ use crate::dual_queue::RankOrders;
 use crate::graph::{Direction, StageGraph};
 use crate::placement::{ParallelConfig, PipelineError};
 use dip_sim::{
-    ClusterSpec, EngineReport, IterationMetrics, SimEngine, Task, TaskKind, TimingModel,
+    ClusterTopology, EngineReport, IterationMetrics, SimEngine, Task, TaskKind, TimingModel,
 };
 use serde::{Deserialize, Serialize};
 
@@ -40,7 +40,10 @@ pub struct ExecutionOutcome {
     pub metrics: IterationMetrics,
 }
 
-/// Executes `orders` over `graph` on the simulated `cluster`.
+/// Executes `orders` over `graph` on the simulated cluster `topology`.
+/// Optimizer steps are priced on each rank's own device and the
+/// data-parallel all-reduce on the slowest network link of the cluster;
+/// cluster peak FLOP/s (for MFU) sums the devices the job occupies.
 ///
 /// # Errors
 ///
@@ -50,7 +53,7 @@ pub struct ExecutionOutcome {
 pub fn execute(
     graph: &StageGraph,
     orders: &RankOrders,
-    cluster: &ClusterSpec,
+    topology: &ClusterTopology,
     timing: &TimingModel,
     config: &ExecutorConfig,
 ) -> Result<ExecutionOutcome, PipelineError> {
@@ -123,12 +126,18 @@ pub fn execute(
     if config.include_optimizer {
         for rank in 0..graph.num_ranks {
             let param_bytes = graph.param_bytes_per_rank.get(rank).copied().unwrap_or(0);
-            let mut duration = timing.optimizer_step_latency(param_bytes);
+            // The memory-bound optimizer update runs at the HBM bandwidth of
+            // the device hosting this rank.
+            let rank_timing = TimingModel::new(
+                topology.rank_device(rank, config.parallel.tp),
+                timing.efficiency,
+            );
+            let mut duration = rank_timing.optimizer_step_latency(param_bytes);
             if config.parallel.dp > 1 {
                 duration += timing.allreduce_latency(
                     param_bytes,
                     config.parallel.dp,
-                    cluster.gpu.net_bandwidth,
+                    topology.min_net_bandwidth(),
                 );
             }
             engine.add_task(
@@ -141,7 +150,12 @@ pub fn execute(
         .run()
         .map_err(|e| PipelineError::Simulation(e.to_string()))?;
 
-    let cluster_peak = cluster.gpu.peak_flops * config.parallel.num_gpus() as f64;
+    // The simulator replays one data-parallel replica, priced on replica 0's
+    // devices (rank r → GPUs r*tp..), and assumes every other replica is
+    // placed on an identical device set — so the MFU denominator is replica
+    // 0's aggregate peak times dp, consistent with the simulated timings.
+    let cluster_peak =
+        topology.peak_flops_of(config.parallel.tp * config.parallel.pp) * config.parallel.dp as f64;
     let total_model_flops = graph.model_flops * config.parallel.dp as f64;
     let metrics = IterationMetrics::new(
         report.makespan,
@@ -161,9 +175,11 @@ mod tests {
     use crate::graph::{StageGraphBuilder, SubMicrobatchPlan};
     use crate::partition::balanced_param_placement;
     use dip_models::{zoo, BatchWorkload, Modality, ModalityWorkload};
-    use dip_sim::{EfficiencyModel, GpuSpec};
+    use dip_sim::{ClusterSpec, EfficiencyModel, GpuSpec};
 
-    fn setup(num_microbatches: usize) -> (StageGraph, ClusterSpec, TimingModel, ParallelConfig) {
+    fn setup(
+        num_microbatches: usize,
+    ) -> (StageGraph, ClusterTopology, TimingModel, ParallelConfig) {
         let spec = zoo::lm_7b();
         let parallel = ParallelConfig::new(2, 4, 1);
         let placement = balanced_param_placement(&spec, parallel, 1);
@@ -174,17 +190,17 @@ mod tests {
         let plan = SubMicrobatchPlan::uniform(placement.segments.len(), batches.len());
         let graph = builder.build(&batches, &plan).unwrap();
         let timing = TimingModel::new(cluster.gpu, EfficiencyModel::default());
-        (graph, cluster, timing, parallel)
+        (graph, cluster.topology(), timing, parallel)
     }
 
     #[test]
     fn executes_a_1f1b_schedule_and_reports_metrics() {
-        let (graph, cluster, timing, parallel) = setup(8);
+        let (graph, topology, timing, parallel) = setup(8);
         let (orders, estimated) = schedule(&graph, &DualQueueConfig::default());
         let outcome = execute(
             &graph,
             &orders,
-            &cluster,
+            &topology,
             &timing,
             &ExecutorConfig::new(parallel),
         )
@@ -200,14 +216,14 @@ mod tests {
 
     #[test]
     fn more_microbatches_reduce_bubble_fraction() {
-        let (graph_small, cluster, timing, parallel) = setup(2);
+        let (graph_small, topology, timing, parallel) = setup(2);
         let (graph_large, ..) = setup(16);
         let run = |g: &StageGraph| {
             let (orders, _) = schedule(g, &DualQueueConfig::default());
             execute(
                 g,
                 &orders,
-                &cluster,
+                &topology,
                 &timing,
                 &ExecutorConfig::new(parallel),
             )
@@ -222,13 +238,13 @@ mod tests {
 
     #[test]
     fn rejects_incomplete_schedules() {
-        let (graph, cluster, timing, parallel) = setup(2);
+        let (graph, topology, timing, parallel) = setup(2);
         let (mut orders, _) = schedule(&graph, &DualQueueConfig::default());
         orders.orders[0].pop();
         let err = execute(
             &graph,
             &orders,
-            &cluster,
+            &topology,
             &timing,
             &ExecutorConfig::new(parallel),
         )
@@ -238,12 +254,12 @@ mod tests {
 
     #[test]
     fn peak_memory_respects_activation_accounting() {
-        let (graph, cluster, timing, parallel) = setup(4);
+        let (graph, topology, timing, parallel) = setup(4);
         let (orders, _) = schedule(&graph, &DualQueueConfig::default());
         let outcome = execute(
             &graph,
             &orders,
-            &cluster,
+            &topology,
             &timing,
             &ExecutorConfig::new(parallel),
         )

@@ -8,10 +8,10 @@
 //! then decide the *order* in which each rank executes its stages; the data
 //! dependencies themselves never change.
 
-use crate::placement::{ParallelConfig, PipelineError, Placement};
+use crate::placement::{PipelineError, Placement};
 use crate::strategy::{MemoryPlan, MemoryStrategy};
 use dip_models::{BatchWorkload, LmmSpec, ModalityWorkload, ModuleId, BF16_BYTES};
-use dip_sim::{ClusterSpec, StageTiming, TimingModel};
+use dip_sim::{ClusterSpec, ClusterTopology, EfficiencyModel, StageTiming, TimingModel};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
@@ -173,33 +173,57 @@ impl StageGraph {
 }
 
 /// Builder for [`StageGraph`].
+///
+/// The builder is topology-aware: every stage is priced on the device that
+/// hosts its pipeline rank ([`ClusterTopology::rank_device`]) and every
+/// communication edge is charged at the actual link between the two ranks
+/// ([`ClusterTopology::link_bandwidth`] — NVLink inside a node, the
+/// inter-node network across nodes, per edge rather than per cluster).
 #[derive(Debug, Clone)]
 pub struct StageGraphBuilder<'a> {
     spec: &'a LmmSpec,
     placement: &'a Placement,
-    cluster: &'a ClusterSpec,
-    timing: TimingModel,
+    topology: ClusterTopology,
+    efficiency: EfficiencyModel,
+    /// When set, every rank is priced on this one model (calibration runs).
+    timing_override: Option<TimingModel>,
     memory_plan: MemoryPlan,
     loss_latency: f64,
 }
 
 impl<'a> StageGraphBuilder<'a> {
-    /// Creates a builder with the default (keep-everything) memory plan.
+    /// Creates a builder for a homogeneous cluster with the default
+    /// (keep-everything) memory plan. Equivalent to
+    /// [`StageGraphBuilder::new_on`] over [`ClusterSpec::topology`].
     pub fn new(spec: &'a LmmSpec, placement: &'a Placement, cluster: &'a ClusterSpec) -> Self {
-        let timing = TimingModel::new(cluster.gpu, dip_sim::EfficiencyModel::default());
+        Self::new_on(spec, placement, &cluster.topology())
+    }
+
+    /// Creates a builder over an explicit (possibly heterogeneous) cluster
+    /// topology.
+    pub fn new_on(spec: &'a LmmSpec, placement: &'a Placement, topology: &ClusterTopology) -> Self {
         Self {
             spec,
             placement,
-            cluster,
-            timing,
+            topology: topology.clone(),
+            efficiency: EfficiencyModel::default(),
+            timing_override: None,
             memory_plan: MemoryPlan::new(),
             loss_latency: 1e-3,
         }
     }
 
-    /// Overrides the timing model (e.g. an uncalibrated or calibrated one).
+    /// Prices every rank on one explicit timing model (e.g. an uncalibrated
+    /// or calibrated one), overriding per-device pricing. Link selection
+    /// (NVLink vs network) still follows the topology.
     pub fn with_timing(mut self, timing: TimingModel) -> Self {
-        self.timing = timing;
+        self.timing_override = Some(timing);
+        self
+    }
+
+    /// Sets the efficiency factors applied on every rank's device.
+    pub fn with_efficiency(mut self, efficiency: EfficiencyModel) -> Self {
+        self.efficiency = efficiency;
         self
     }
 
@@ -207,6 +231,24 @@ impl<'a> StageGraphBuilder<'a> {
     pub fn with_memory_plan(mut self, plan: MemoryPlan) -> Self {
         self.memory_plan = plan;
         self
+    }
+
+    /// The timing model pricing stages of pipeline rank `rank`.
+    fn rank_timing(&self, rank: usize, tp: usize) -> TimingModel {
+        self.timing_override.unwrap_or_else(|| {
+            TimingModel::new(self.topology.rank_device(rank, tp), self.efficiency)
+        })
+    }
+
+    /// Communication lag of `bytes` flowing over the `from → to` rank edge,
+    /// charged at the link the topology exposes for that pair.
+    fn edge_lag(&self, bytes: u64, from: usize, to: usize, tp: usize) -> f64 {
+        match self.timing_override {
+            Some(t) => t.p2p_latency(bytes, self.topology.ranks_share_node(from, to, tp)),
+            None => self
+                .rank_timing(from, tp)
+                .p2p_latency_at(bytes, self.topology.link_bandwidth(from, to, tp)),
+        }
     }
 
     /// Builds the stage graph for the given microbatch workloads and
@@ -246,7 +288,6 @@ impl<'a> StageGraphBuilder<'a> {
             }
         }
 
-        let same_node = self.adjacent_ranks_share_node(parallel);
         let mut items: Vec<WorkItem> = Vec::new();
         let mut index: BTreeMap<(usize, usize, usize, usize), (StageId, StageId)> = BTreeMap::new();
         let mut stage_pair = 0usize;
@@ -280,7 +321,9 @@ impl<'a> StageGraphBuilder<'a> {
                             .unwrap_or(0);
                         let p2p_bytes =
                             out_tokens * chunk.output_dim(self.spec) as u64 * BF16_BYTES;
-                        let base = self.timing.stage_timing(&cost, p2p_bytes);
+                        let base = self
+                            .rank_timing(r, parallel.tp)
+                            .stage_timing(&cost, p2p_bytes);
                         let strategy: MemoryStrategy = self.memory_plan.get(stage_pair);
                         let adjusted: StageTiming = strategy.apply(&base);
 
@@ -319,30 +362,33 @@ impl<'a> StageGraphBuilder<'a> {
             }
         }
 
-        // Wire the data dependencies.
-        let p2p_lag = |bytes: u64| self.timing.p2p_latency(bytes, same_node);
+        // Wire the data dependencies, charging every edge at the link between
+        // the producing and consuming ranks.
+        let p2p_lag =
+            |bytes: u64, from: usize, to: usize| self.edge_lag(bytes, from, to, parallel.tp);
         let mut extra_deps: Vec<(StageId, StageId, f64)> = Vec::new();
         let last_segment = segments.len() - 1;
         for (&(s, m, j, r), &(fwd_id, bwd_id)) in &index {
             // Forward chain within the segment.
             if r > 0 {
                 let (prev_fwd, _) = index[&(s, m, j, r - 1)];
-                let lag = p2p_lag(items[prev_fwd.0].p2p_bytes);
+                let lag = p2p_lag(items[prev_fwd.0].p2p_bytes, r - 1, r);
                 extra_deps.push((fwd_id, prev_fwd, lag));
             } else if s > 0 {
-                // First rank depends on the previous segment's last rank.
+                // First rank depends on the previous segment's last rank; the
+                // edge wraps from rank pp-1 back to rank 0.
                 let prev_same_module =
                     segments[s].module.is_some() && segments[s].module == segments[s - 1].module;
                 if prev_same_module {
                     let (prev_fwd, _) = index[&(s - 1, m, j, pp - 1)];
-                    let lag = p2p_lag(items[prev_fwd.0].p2p_bytes);
+                    let lag = p2p_lag(items[prev_fwd.0].p2p_bytes, pp - 1, 0);
                     extra_deps.push((fwd_id, prev_fwd, lag));
                 } else {
                     // Cross-module boundary: wait for every sub-microbatch of
                     // the producer segment.
                     let mut jp = 0;
                     while let Some(&(prev_fwd, _)) = index.get(&(s - 1, m, jp, pp - 1)) {
-                        let lag = p2p_lag(items[prev_fwd.0].p2p_bytes);
+                        let lag = p2p_lag(items[prev_fwd.0].p2p_bytes, pp - 1, 0);
                         extra_deps.push((fwd_id, prev_fwd, lag));
                         jp += 1;
                     }
@@ -352,7 +398,7 @@ impl<'a> StageGraphBuilder<'a> {
             // Backward chain within the segment (reverse rank order).
             if r < pp - 1 {
                 let (_, next_bwd) = index[&(s, m, j, r + 1)];
-                let lag = p2p_lag(items[fwd_id.0].p2p_bytes);
+                let lag = p2p_lag(items[fwd_id.0].p2p_bytes, r + 1, r);
                 extra_deps.push((bwd_id, next_bwd, lag));
             } else if s == last_segment {
                 // Loss boundary: backward of the last stage follows its own
@@ -363,12 +409,12 @@ impl<'a> StageGraphBuilder<'a> {
                     segments[s].module.is_some() && segments[s].module == segments[s + 1].module;
                 if next_same_module {
                     let (_, next_bwd) = index[&(s + 1, m, j, 0)];
-                    let lag = p2p_lag(items[fwd_id.0].p2p_bytes);
+                    let lag = p2p_lag(items[fwd_id.0].p2p_bytes, 0, pp - 1);
                     extra_deps.push((bwd_id, next_bwd, lag));
                 } else {
                     let mut jn = 0;
                     while let Some(&(_, next_bwd)) = index.get(&(s + 1, m, jn, 0)) {
-                        let lag = p2p_lag(items[fwd_id.0].p2p_bytes);
+                        let lag = p2p_lag(items[fwd_id.0].p2p_bytes, 0, pp - 1);
                         extra_deps.push((bwd_id, next_bwd, lag));
                         jn += 1;
                     }
@@ -402,12 +448,6 @@ impl<'a> StageGraphBuilder<'a> {
             index,
         })
     }
-
-    /// Whether pipeline-adjacent ranks live in the same node (NVLink) given
-    /// the TP group size and node size.
-    fn adjacent_ranks_share_node(&self, parallel: ParallelConfig) -> bool {
-        parallel.tp * 2 <= self.cluster.gpus_per_node
-    }
 }
 
 /// Splits each module's workload of a segment into `splits` sub-microbatches.
@@ -433,6 +473,7 @@ fn split_segment_workloads(
 mod tests {
     use super::*;
     use crate::partition::{balanced_param_placement, separated_placement};
+    use crate::placement::ParallelConfig;
     use dip_models::{zoo, Modality};
 
     fn vlm_batch() -> BatchWorkload {

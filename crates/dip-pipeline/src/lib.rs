@@ -37,6 +37,9 @@ pub mod strategy;
 pub use dual_queue::{DualQueueConfig, RankOrders};
 pub use executor::{execute, ExecutionOutcome, ExecutorConfig};
 pub use graph::{Direction, StageGraph, StageGraphBuilder, StageId, SubMicrobatchPlan, WorkItem};
-pub use partition::{balanced_latency_placement, balanced_param_placement, separated_placement};
+pub use partition::{
+    balanced_latency_placement, balanced_param_placement, capacity_aware_separated_placement,
+    separated_placement, PlacementMode,
+};
 pub use placement::{ChunkPiece, ModelChunk, ParallelConfig, PipelineError, Placement, Segment};
 pub use strategy::{MemoryPlan, MemoryStrategy};

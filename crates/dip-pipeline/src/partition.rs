@@ -2,9 +2,26 @@
 
 use crate::placement::{ChunkPiece, ModelChunk, ParallelConfig, Placement, Segment};
 use dip_models::{BatchWorkload, LmmSpec, ModuleId};
-use dip_sim::TimingModel;
+use dip_sim::{ClusterTopology, TimingModel};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
+
+/// How DIP's separated placement distributes a module's layers across the
+/// pipeline ranks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum PlacementMode {
+    /// Equal layer counts per rank, ignoring the devices backing them (the
+    /// only sensible choice on a homogeneous cluster, and the pre-topology
+    /// behaviour everywhere).
+    RoundRobin,
+    /// Layer counts proportional to the hosting device's capability:
+    /// FLOP-heavy backbone stages follow per-rank peak FLOP/s (more LLM
+    /// layers on H800 ranks), memory-heavy modality stages follow per-rank
+    /// HBM capacity (encoders/decoders lean towards H20 ranks). On a uniform
+    /// topology this reduces bit-exactly to [`PlacementMode::RoundRobin`].
+    #[default]
+    CapacityAware,
+}
 
 /// A single model layer in the global (cross-module) execution order.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -184,14 +201,60 @@ pub fn separated_placement(
     parallel: ParallelConfig,
     segments_per_module: &BTreeMap<ModuleId, usize>,
 ) -> Placement {
+    separated_placement_weighted(spec, parallel, segments_per_module, |_, _| 1)
+}
+
+/// DIP's separated placement over a heterogeneous cluster
+/// ([`PlacementMode::CapacityAware`]): each module is still split into
+/// `pp * K_i` contiguous chunks forming `K_i` dedicated segments, but the
+/// per-rank layer counts follow the capability of the device hosting the
+/// rank — peak FLOP/s for the FLOP-heavy backbone, HBM capacity for the
+/// memory-heavy modality modules (encoders, decoders, adapters). Equal
+/// capabilities reduce bit-exactly to [`separated_placement`].
+pub fn capacity_aware_separated_placement(
+    spec: &LmmSpec,
+    parallel: ParallelConfig,
+    segments_per_module: &BTreeMap<ModuleId, usize>,
+    topology: &ClusterTopology,
+) -> Placement {
+    separated_placement_weighted(spec, parallel, segments_per_module, |module, rank| {
+        let device = topology.rank_device(rank, parallel.tp);
+        let weight = if spec.module(module).role().is_memory_heavy() {
+            device.mem_capacity
+        } else {
+            device.peak_flops as u64
+        };
+        weight.max(1)
+    })
+}
+
+/// Shared core of the separated placements: split each module's `n` layers
+/// into `pp * K_i` contiguous chunks whose sizes follow the per-rank weight
+/// function (uniform weights give the equal `(c*n)/total` split).
+fn separated_placement_weighted(
+    spec: &LmmSpec,
+    parallel: ParallelConfig,
+    segments_per_module: &BTreeMap<ModuleId, usize>,
+    rank_weight: impl Fn(ModuleId, usize) -> u64,
+) -> Placement {
     let pp = parallel.pp;
     let mut segments = Vec::new();
     for (id, module) in spec.iter() {
         let k = segments_per_module.get(&id).copied().unwrap_or(1).max(1);
-        let total_chunks = pp * k;
         let n = module.num_layers();
-        // Equal split of n layers into total_chunks contiguous groups.
-        let bounds: Vec<usize> = (0..=total_chunks).map(|c| (c * n) / total_chunks).collect();
+        // Chunk c = seg*pp + r is executed by rank r = c % pp; its share of
+        // the module's layers follows the rank's weight. Exact u128 integer
+        // math keeps uniform weights bit-identical to the `(c*n)/total`
+        // equal split.
+        let weights: Vec<u128> = (0..pp).map(|r| rank_weight(id, r).max(1) as u128).collect();
+        let total_weight: u128 = weights.iter().sum::<u128>() * k as u128;
+        let mut bounds = Vec::with_capacity(pp * k + 1);
+        bounds.push(0usize);
+        let mut prefix = 0u128;
+        for c in 0..pp * k {
+            prefix += weights[c % pp];
+            bounds.push(((prefix * n as u128) / total_weight) as usize);
+        }
         for seg in 0..k {
             let chunks: Vec<ModelChunk> = (0..pp)
                 .map(|r| {
@@ -312,6 +375,57 @@ mod tests {
         for seg in &placement.segments {
             assert!(seg.module.is_some());
             assert_eq!(seg.chunks.len(), 4);
+        }
+    }
+
+    #[test]
+    fn capacity_aware_placement_reduces_to_round_robin_on_uniform_clusters() {
+        let spec = zoo::vlm_s();
+        let parallel = ParallelConfig::new(4, 4, 1);
+        let mut k = BTreeMap::new();
+        k.insert(spec.backbone_id().unwrap(), 3usize);
+        let topo = dip_sim::ClusterSpec::h800_cluster(2).topology();
+        let equal = separated_placement(&spec, parallel, &k);
+        let aware = capacity_aware_separated_placement(&spec, parallel, &k, &topo);
+        assert_eq!(equal, aware);
+    }
+
+    #[test]
+    fn capacity_aware_placement_biases_backbone_layers_to_high_compute_ranks() {
+        let spec = zoo::vlm_s();
+        let parallel = ParallelConfig::new(4, 4, 1);
+        // 1 node × 8 H800 + 1 node × 8 H20 at TP=4: ranks 0,1 on H800
+        // (6.7× the compute), ranks 2,3 on H20 (1.2× the memory).
+        let topo = dip_sim::ClusterTopology::mixed_h800_h20(1, 1);
+        let mut k = BTreeMap::new();
+        let backbone = spec.backbone_id().unwrap();
+        k.insert(backbone, 2usize);
+        let placement = capacity_aware_separated_placement(&spec, parallel, &k, &topo);
+        placement.validate(&spec).unwrap();
+        for &s in &placement.segments_of_module(backbone) {
+            let layers: Vec<usize> = placement.segments[s]
+                .chunks
+                .iter()
+                .map(ModelChunk::num_layers)
+                .collect();
+            // FLOP-heavy backbone: H800 ranks carry strictly more layers.
+            assert!(
+                layers[0] > layers[2] && layers[1] > layers[3],
+                "backbone layers {layers:?}"
+            );
+        }
+        // Memory-heavy encoder: H20 ranks carry at least as many layers.
+        let (encoder, _) = spec.encoders().next().unwrap();
+        for &s in &placement.segments_of_module(encoder) {
+            let layers: Vec<usize> = placement.segments[s]
+                .chunks
+                .iter()
+                .map(ModelChunk::num_layers)
+                .collect();
+            assert!(
+                layers[2] + layers[3] >= layers[0] + layers[1],
+                "encoder layers {layers:?}"
+            );
         }
     }
 

@@ -9,6 +9,9 @@
 //!
 //! * [`hardware`] — GPU and cluster specifications (H800, H20, H100 presets
 //!   matching the paper's testbeds);
+//! * [`topology`] — heterogeneous cluster topologies: per-node device
+//!   groups, the rank-pair link model (NVLink vs RoCE per edge) and stable
+//!   topology fingerprints for plan-cache keys;
 //! * [`efficiency`] — efficiency scaling factors plus a utilisation curve
 //!   that models the drop-off for very small kernels (the effect behind the
 //!   95%-of-peak sub-microbatch sizing rule, §4 / Fig. 9);
@@ -30,6 +33,7 @@ pub mod engine;
 pub mod hardware;
 pub mod metrics;
 pub mod timing;
+pub mod topology;
 
 pub use calibration::{calibrate, CalibrationSample};
 pub use efficiency::EfficiencyModel;
@@ -37,3 +41,4 @@ pub use engine::{EngineReport, RankTimeline, SimEngine, Task, TaskId, TaskKind};
 pub use hardware::{ClusterSpec, GpuGeneration, GpuSpec};
 pub use metrics::{mfu, IterationMetrics};
 pub use timing::{StageTiming, TimingModel};
+pub use topology::{ClusterTopology, NodeSpec};

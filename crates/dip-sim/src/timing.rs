@@ -80,14 +80,23 @@ impl TimingModel {
     /// Latency of a point-to-point transfer of `bytes` between pipeline
     /// ranks (`same_node` selects NVLink vs the inter-node network).
     pub fn p2p_latency(&self, bytes: u64, same_node: bool) -> f64 {
-        if bytes == 0 {
-            return 0.0;
-        }
         let bandwidth = if same_node {
             self.gpu.nvlink_bandwidth
         } else {
             self.gpu.net_bandwidth
         };
+        self.p2p_latency_at(bytes, bandwidth)
+    }
+
+    /// Latency of a point-to-point transfer of `bytes` over a link of the
+    /// given raw `bandwidth` (bytes/s). Topology-aware callers resolve the
+    /// link between the two endpoint devices (e.g.
+    /// [`crate::ClusterTopology::link_bandwidth`]) and price the transfer
+    /// here, so heterogeneous rank pairs are charged at the actual edge.
+    pub fn p2p_latency_at(&self, bytes: u64, bandwidth: f64) -> f64 {
+        if bytes == 0 {
+            return 0.0;
+        }
         bytes as f64 / (bandwidth * self.efficiency.network_efficiency) + 15e-6
     }
 

@@ -1,0 +1,110 @@
+//! Heterogeneous-cluster integration tests (the Table 4 scenario family):
+//! planning end to end on a mixed H800+H20 cluster, capacity-aware
+//! placement against naive round-robin, and per-device memory budgets.
+
+use dip_core::{DipPlanner, PlanRequest, PlannerConfig, PlanningSession, SessionConfig};
+use dip_models::{zoo, BatchWorkload, Modality, ModalityWorkload};
+use dip_pipeline::{ParallelConfig, PlacementMode};
+use dip_sim::ClusterTopology;
+use std::time::Duration;
+
+fn vlm_batch(images: u64) -> BatchWorkload {
+    let images = images.min(48);
+    BatchWorkload::new()
+        .with(
+            Modality::Text,
+            ModalityWorkload::new(8192 - images * 169, 1),
+        )
+        .with(Modality::Image, ModalityWorkload::new(images * 169, images))
+}
+
+fn batches() -> Vec<BatchWorkload> {
+    [24u64, 8, 40, 2, 32, 16]
+        .iter()
+        .map(|&i| vlm_batch(i))
+        .collect()
+}
+
+fn deterministic_config() -> PlannerConfig {
+    let mut config = PlannerConfig::fast();
+    config.search.time_budget = Duration::from_secs(3600);
+    config.search.max_evaluations = Some(128);
+    config
+}
+
+#[test]
+fn capacity_aware_placement_beats_round_robin_on_the_mixed_cluster() {
+    let spec = zoo::vlm_s();
+    let parallel = ParallelConfig::new(4, 4, 1);
+    let topology = ClusterTopology::mixed_h800_h20(1, 1);
+
+    let aware = DipPlanner::on_topology(&spec, parallel, topology.clone(), deterministic_config());
+    let mut round_robin_config = deterministic_config();
+    round_robin_config.partitioner.placement = PlacementMode::RoundRobin;
+    let round_robin = DipPlanner::on_topology(&spec, parallel, topology, round_robin_config);
+
+    let (_, aware_outcome) = aware.plan_and_simulate(&batches()).unwrap();
+    let (_, rr_outcome) = round_robin.plan_and_simulate(&batches()).unwrap();
+    assert!(
+        aware_outcome.metrics.iteration_time_s < rr_outcome.metrics.iteration_time_s,
+        "capacity-aware {} must beat round-robin {} on H800+H20",
+        aware_outcome.metrics.iteration_time_s,
+        rr_outcome.metrics.iteration_time_s
+    );
+}
+
+#[test]
+fn heterogeneous_sessions_cache_and_respect_per_device_memory() {
+    let spec = zoo::vlm_s();
+    let parallel = ParallelConfig::new(4, 4, 1);
+    let topology = ClusterTopology::mixed_h800_h20(1, 1);
+    let session = PlanningSession::from_planner(
+        DipPlanner::on_topology(&spec, parallel, topology.clone(), PlannerConfig::fast()),
+        SessionConfig::default(),
+    );
+
+    let request = PlanRequest::new(batches());
+    let (first, execution) = session.plan_and_simulate(&request).unwrap();
+    assert!(!first.cache_hit);
+    assert!(execution.metrics.iteration_time_s > 0.0);
+    // Every rank must stay within its *own* device's usable memory — the
+    // H800 ranks within the H800 budget, not the roomier H20 one (budgeting
+    // every rank from the largest device is exactly the bug class the
+    // per-device budgets exist to prevent).
+    for timeline in &execution.report.ranks {
+        let device = topology.rank_device(timeline.rank, parallel.tp);
+        assert!(
+            timeline.peak_memory <= device.usable_memory() as i64,
+            "rank {} peaks at {} bytes, exceeding its own device's usable {}",
+            timeline.rank,
+            timeline.peak_memory,
+            device.usable_memory()
+        );
+    }
+
+    // Repeated shapes hit the (topology-keyed) cache as usual.
+    let second = session.plan(&request).unwrap();
+    assert!(second.cache_hit);
+    assert_eq!(first.plan.orders, second.plan.orders);
+}
+
+#[test]
+fn mixed_cluster_lands_between_the_uniform_clusters() {
+    // Iteration time should order uniform-H800 ≤ mixed ≤ uniform-H20: the
+    // H20's 6.7× lower compute dominates, and the mixed cluster sits in
+    // between because half its stages still run on H800 silicon.
+    let spec = zoo::vlm_s();
+    let parallel = ParallelConfig::new(4, 4, 1);
+    let run = |topology: ClusterTopology| {
+        let planner = DipPlanner::on_topology(&spec, parallel, topology, deterministic_config());
+        let (_, outcome) = planner.plan_and_simulate(&batches()).unwrap();
+        outcome.metrics.iteration_time_s
+    };
+    let h800 = run(ClusterTopology::mixed_h800_h20(2, 0));
+    let mixed = run(ClusterTopology::mixed_h800_h20(1, 1));
+    let h20 = run(ClusterTopology::mixed_h800_h20(0, 2));
+    assert!(
+        h800 <= mixed && mixed <= h20,
+        "expected H800 {h800} <= mixed {mixed} <= H20 {h20}"
+    );
+}

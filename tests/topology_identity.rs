@@ -1,0 +1,120 @@
+//! Topology-refactor identity properties: a uniform [`ClusterTopology`]
+//! built from any [`ClusterSpec`] must plan bit-identically to the
+//! spec-based path (the pre-refactor entry point), and topology
+//! fingerprints must separate any two clusters that differ in any rank's
+//! device.
+
+use dip_core::{DipPlan, DipPlanner, PlanRequest, PlannerConfig, PlanningSession, SessionConfig};
+use dip_models::{zoo, BatchWorkload, Modality, ModalityWorkload};
+use dip_pipeline::ParallelConfig;
+use dip_sim::{ClusterSpec, ClusterTopology, GpuGeneration, GpuSpec, NodeSpec};
+use proptest::prelude::*;
+use std::time::Duration;
+
+fn vlm_batch(images: u64) -> BatchWorkload {
+    let images = images.min(48);
+    BatchWorkload::new()
+        .with(
+            Modality::Text,
+            ModalityWorkload::new(8192 - images * 169, 1),
+        )
+        .with(Modality::Image, ModalityWorkload::new(images * 169, images))
+}
+
+/// An evaluation-bounded (hence deterministic at fixed worker count) planner
+/// configuration.
+fn deterministic_config() -> PlannerConfig {
+    let mut config = PlannerConfig::fast();
+    config.search.time_budget = Duration::from_secs(3600);
+    config.search.max_evaluations = Some(96);
+    config
+}
+
+fn assert_plans_bit_identical(a: &DipPlan, b: &DipPlan) {
+    assert_eq!(a.graph, b.graph, "stage graphs differ");
+    assert_eq!(a.orders, b.orders, "rank orders differ");
+    assert_eq!(a.segment_priorities, b.segment_priorities);
+    assert_eq!(a.memory_plan, b.memory_plan);
+    assert_eq!(a.sub_microbatches, b.sub_microbatches);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// The `ClusterSpec` constructor path and an explicit uniform
+    /// `ClusterTopology` must produce bit-identical `PlanOutcome`s: same
+    /// signature, same graph (durations, lags, memory), same schedule,
+    /// same memory plan.
+    #[test]
+    fn uniform_topology_plans_bit_identically_to_the_cluster_spec_path(
+        nodes in 2usize..5,
+        images_a in 0u64..49,
+        images_b in 0u64..49,
+    ) {
+        let spec = zoo::vlm_s();
+        let parallel = ParallelConfig::new(4, 4, 1);
+        let cluster = ClusterSpec::h800_cluster(nodes);
+        let request = PlanRequest::new(vec![vlm_batch(images_a), vlm_batch(images_b)]);
+
+        let via_spec = PlanningSession::with_config(
+            &spec,
+            parallel,
+            &cluster,
+            deterministic_config(),
+            SessionConfig::default(),
+        );
+        let via_topology = PlanningSession::from_planner(
+            DipPlanner::on_topology(&spec, parallel, cluster.topology(), deterministic_config()),
+            SessionConfig::default(),
+        );
+
+        let a = via_spec.plan(&request).unwrap();
+        let b = via_topology.plan(&request).unwrap();
+        prop_assert_eq!(a.signature, b.signature);
+        prop_assert_eq!(a.cache_hit, b.cache_hit);
+        assert_plans_bit_identical(&a.plan, &b.plan);
+        // Both paths key their caches identically, too.
+        prop_assert_eq!(via_spec.cache_key(&request), via_topology.cache_key(&request));
+
+        // And both simulate to the exact same iteration time.
+        let ta = via_spec.simulate(&a.plan).unwrap().metrics.iteration_time_s;
+        let tb = via_topology.simulate(&b.plan).unwrap().metrics.iteration_time_s;
+        prop_assert_eq!(ta.to_bits(), tb.to_bits());
+    }
+
+    /// Changing any single rank's device spec must change the topology
+    /// fingerprint (otherwise two different clusters could share plan-cache
+    /// entries).
+    #[test]
+    fn fingerprints_differ_whenever_any_ranks_spec_differs(
+        node in 0usize..4,
+        extra_capacity_gib in 1u64..32,
+        flops_scale_permille in 1u64..500,
+    ) {
+        let gpu = GpuSpec::preset(GpuGeneration::H800);
+        let base_nodes: Vec<NodeSpec> = (0..4).map(|_| NodeSpec::new(gpu, 8)).collect();
+        let base = ClusterTopology::new(base_nodes.clone());
+
+        // Perturb one node's memory capacity.
+        let mut more_memory = base_nodes.clone();
+        more_memory[node].gpu.mem_capacity += extra_capacity_gib << 30;
+        prop_assert_ne!(
+            base.fingerprint(),
+            ClusterTopology::new(more_memory).fingerprint()
+        );
+
+        // Perturb the same node's compute throughput.
+        let mut less_compute = base_nodes.clone();
+        less_compute[node].gpu.peak_flops *= 1.0 - flops_scale_permille as f64 / 1000.0;
+        prop_assert_ne!(
+            base.fingerprint(),
+            ClusterTopology::new(less_compute).fingerprint()
+        );
+
+        // An unchanged copy fingerprints equal.
+        prop_assert_eq!(
+            base.fingerprint(),
+            ClusterTopology::new(base_nodes).fingerprint()
+        );
+    }
+}
