@@ -2,13 +2,15 @@
 //! a uniform H800 cluster, a uniform H20 cluster, and a mixed H800+H20
 //! cluster, all with 16 GPUs at TP4 PP4.
 //!
-//! On the mixed cluster the planner runs twice: once with the naive
+//! On the mixed cluster the planner runs three times: with the naive
 //! round-robin layer split (equal layers per rank, as if the devices were
-//! identical) and once with the capacity-aware placement mode, which gives
-//! the FLOP-heavy LLM backbone layers to the H800 ranks in proportion to
-//! their compute and leans the memory-heavy ViT encoder towards the
-//! high-capacity H20 ranks. The capacity-aware row must beat round-robin —
-//! the bin asserts it, so the CI smoke run guards the property.
+//! identical), with the capacity-aware placement mode (layer counts follow
+//! spec-sheet peak FLOP/s or HBM capacity), and with the latency-balanced
+//! mode (an nnScaler-style DP balancing *simulated* per-stage latency
+//! priced on each hosting rank's own device, with segment counts priced on
+//! the hosting ranks too). Capacity-aware must beat round-robin, and
+//! latency-balanced must be at least as good as capacity-aware — the bin
+//! asserts both, so the CI smoke run guards the properties.
 
 use dip_bench::{fmt_ratio, fmt_s, print_table, vlm_batch, ExperimentScale};
 use dip_core::{DipPlanner, PlanRequest, PlannerConfig, PlanningSession, SessionConfig};
@@ -88,6 +90,13 @@ fn main() {
             "capacity-aware",
             &scale,
         ),
+        run(
+            ClusterTopology::mixed_h800_h20(1, 1),
+            PlacementMode::LatencyBalanced,
+            "1×8 H800 + 1×8 H20",
+            "latency-balanced",
+            &scale,
+        ),
     ];
 
     print_table(
@@ -109,9 +118,14 @@ fn main() {
 
     let naive = &rows[2];
     let aware = &rows[3];
+    let balanced = &rows[4];
     println!(
         "Mixed-cluster speedup from capacity-aware placement: {}x",
         fmt_ratio(naive.iteration_s / aware.iteration_s)
+    );
+    println!(
+        "Mixed-cluster speedup from latency-balanced over capacity-aware: {}x",
+        fmt_ratio(aware.iteration_s / balanced.iteration_s)
     );
     assert!(
         aware.iteration_s < naive.iteration_s,
@@ -119,5 +133,11 @@ fn main() {
         aware.iteration_s,
         naive.iteration_s
     );
-    println!("Expected shape: uniform H800 fastest, uniform H20 slowest; the mixed cluster lands in between, and capacity-aware placement strictly beats round-robin there.");
+    assert!(
+        balanced.iteration_s <= aware.iteration_s,
+        "latency-balanced ({}) must be at least as good as capacity-aware ({}) on the mixed cluster",
+        balanced.iteration_s,
+        aware.iteration_s
+    );
+    println!("Expected shape: uniform H800 fastest, uniform H20 slowest; the mixed cluster lands in between, capacity-aware beats round-robin there, and latency-balanced is at least as good as capacity-aware.");
 }

@@ -5,8 +5,10 @@
 //!
 //! * [`partitioner`] — the modality-aware partitioner (§4): sub-microbatch
 //!   size selection (the 95%-of-peak rule), per-module pipeline segment
-//!   counts `K_i = ⌊T_i / T_1⌋`, the separated model-chunk placement and the
-//!   per-iteration sub-microbatch plan `M_i = ⌈N_i / B_i⌉`;
+//!   counts `K_i = ⌊T_i / T_1⌋` (priced on the hosting ranks under the
+//!   latency-balanced placement mode), the separated model-chunk placement
+//!   in three [`dip_pipeline::PlacementMode`]s and the per-iteration
+//!   sub-microbatch plan `M_i = ⌈N_i / B_i⌉`;
 //! * [`ordering`] — the pipeline schedule searcher's first phase (§5.1):
 //!   root-parallel MCTS over segment orderings with UCB selection, random
 //!   rollouts and score backpropagation on independent per-worker trees
@@ -59,7 +61,7 @@
 //!
 //! Single-shot planning remains available through [`DipPlanner`].
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod error;

@@ -10,8 +10,8 @@
 use crate::error::{DipError, ResultExt};
 use dip_models::{BatchWorkload, LmmSpec, ModalityWorkload, ModuleId, ModuleRole};
 use dip_pipeline::{
-    capacity_aware_separated_placement, separated_placement, ParallelConfig, Placement,
-    PlacementMode, SubMicrobatchPlan,
+    capacity_aware_separated_placement, latency_balanced_separated_placement, separated_placement,
+    ParallelConfig, Placement, PlacementMode, SubMicrobatchPlan,
 };
 use dip_sim::{ClusterTopology, TimingModel};
 use serde::{Deserialize, Serialize};
@@ -29,9 +29,12 @@ pub struct PartitionerConfig {
     /// Upper bound on sub-microbatches per microbatch per module.
     pub max_sub_microbatches: usize,
     /// How layers are distributed across the ranks' devices. The default
-    /// [`PlacementMode::CapacityAware`] follows per-device capability on
-    /// heterogeneous topologies and reduces bit-exactly to
-    /// [`PlacementMode::RoundRobin`] on uniform ones.
+    /// [`PlacementMode::CapacityAware`] follows per-device spec-sheet
+    /// capability on heterogeneous topologies;
+    /// [`PlacementMode::LatencyBalanced`] balances *simulated* per-stage
+    /// latency priced on each hosting rank's own device (and prices segment
+    /// counts on the hosting ranks too). Both reduce bit-exactly to
+    /// [`PlacementMode::RoundRobin`] on uniform topologies.
     pub placement: PlacementMode,
 }
 
@@ -127,7 +130,30 @@ impl<'a> ModalityAwarePartitioner<'a> {
 
     /// Determines the per-module segment counts `K_i = ⌊T_i / T_1⌋`
     /// (§4, "Partition Model Chunks") for a representative microbatch.
+    ///
+    /// Under [`PlacementMode::LatencyBalanced`] on a (bound, non-uniform)
+    /// topology, each module's latency `T_i` is priced on its *actual
+    /// hosting ranks* instead of the single reference device: the separated
+    /// placement spreads every module across all `pp` ranks, and in the
+    /// latency-balanced optimum each of the `pp` stages of one traversal
+    /// takes `W / Σ_r s_r` (total work over summed per-rank, per-module
+    /// throughput) — which equals the harmonic mean of the module's
+    /// whole-module latencies priced per rank device. On a mixed cluster
+    /// the per-module latency *ratios* differ per device kind (a
+    /// memory-bound encoder slows down far less on an H20 than the
+    /// FLOP-bound backbone does), so `K_i` shifts accordingly. All other
+    /// modes keep the reference-device pricing, bit-identical to the
+    /// pre-existing behaviour.
     pub fn segment_counts(&self, representative: &BatchWorkload) -> BTreeMap<ModuleId, usize> {
+        let hosting_timings: Option<Vec<TimingModel>> =
+            match (&self.topology, self.config.placement) {
+                (Some(topology), PlacementMode::LatencyBalanced) if !topology.is_uniform() => Some(
+                    (0..self.parallel.pp)
+                        .map(|r| topology.rank_timing(r, self.parallel.tp, self.timing.efficiency))
+                        .collect(),
+                ),
+                _ => None,
+            };
         let mut latencies: Vec<(ModuleId, f64)> = Vec::new();
         for (id, wl) in self.spec.module_workloads(representative) {
             let module = self.spec.module(id);
@@ -136,7 +162,21 @@ impl<'a> ModalityAwarePartitioner<'a> {
                 continue;
             }
             let cost = module.cost(&wl, self.parallel.tp);
-            let latency = self.timing.forward_latency(&cost) + self.timing.backward_latency(&cost);
+            let latency = match &hosting_timings {
+                Some(timings) => {
+                    // Harmonic mean over the hosting ranks' devices: the
+                    // latency of one balanced traversal of the module
+                    // across the actual device mix.
+                    let inverse_sum: f64 = timings
+                        .iter()
+                        .map(|t| {
+                            1.0 / (t.forward_latency(&cost) + t.backward_latency(&cost)).max(1e-9)
+                        })
+                        .sum();
+                    timings.len() as f64 / inverse_sum
+                }
+                None => self.timing.forward_latency(&cost) + self.timing.backward_latency(&cost),
+            };
             latencies.push((id, latency.max(1e-9)));
         }
         let t1 = latencies
@@ -168,6 +208,16 @@ impl<'a> ModalityAwarePartitioner<'a> {
                 &segment_counts,
                 topology,
             ),
+            (Some(topology), PlacementMode::LatencyBalanced) => {
+                latency_balanced_separated_placement(
+                    self.spec,
+                    self.parallel,
+                    &segment_counts,
+                    topology,
+                    self.timing.efficiency,
+                    representative,
+                )
+            }
             _ => separated_placement(self.spec, self.parallel, &segment_counts),
         };
         placement

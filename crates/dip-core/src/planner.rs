@@ -148,6 +148,34 @@ pub struct DipPlan {
 }
 
 /// The DIP training planner.
+///
+/// Single-shot planning of one iteration; multi-iteration workloads should
+/// go through [`crate::PlanningSession`], which adds plan caching and
+/// warm-started search on top.
+///
+/// ```
+/// use dip_core::{DipPlanner, PlannerConfig};
+/// use dip_models::{zoo, BatchWorkload, Modality, ModalityWorkload};
+/// use dip_pipeline::ParallelConfig;
+/// use dip_sim::ClusterTopology;
+///
+/// let spec = zoo::vlm_s();
+/// // A heterogeneous cluster: 8 H800s plus 8 H20s. (For uniform clusters,
+/// // `DipPlanner::new` over a `ClusterSpec` is equivalent.)
+/// let topology = ClusterTopology::mixed_h800_h20(1, 1);
+/// let planner = DipPlanner::on_topology(
+///     &spec,
+///     ParallelConfig::new(4, 4, 1),
+///     topology,
+///     PlannerConfig::fast(),
+/// );
+/// let batch = BatchWorkload::new()
+///     .with(Modality::Text, ModalityWorkload::new(6502, 1))
+///     .with(Modality::Image, ModalityWorkload::new(1690, 10));
+/// let (plan, outcome) = planner.plan_and_simulate(&[batch]).unwrap();
+/// assert!(outcome.metrics.iteration_time_s > 0.0);
+/// assert!(plan.graph.critical_rank_time() > 0.0);
+/// ```
 #[derive(Debug)]
 pub struct DipPlanner<'a> {
     spec: &'a LmmSpec,

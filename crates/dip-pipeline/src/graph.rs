@@ -175,10 +175,31 @@ impl StageGraph {
 /// Builder for [`StageGraph`].
 ///
 /// The builder is topology-aware: every stage is priced on the device that
-/// hosts its pipeline rank ([`ClusterTopology::rank_device`]) and every
+/// hosts its pipeline rank ([`ClusterTopology::rank_timing`]) and every
 /// communication edge is charged at the actual link between the two ranks
 /// ([`ClusterTopology::link_bandwidth`] — NVLink inside a node, the
 /// inter-node network across nodes, per edge rather than per cluster).
+///
+/// ```
+/// use dip_models::{zoo, BatchWorkload, Modality, ModalityWorkload};
+/// use dip_pipeline::{separated_placement, ParallelConfig, StageGraphBuilder,
+///                    SubMicrobatchPlan};
+/// use dip_sim::ClusterTopology;
+/// use std::collections::BTreeMap;
+///
+/// let spec = zoo::vlm_s();
+/// let parallel = ParallelConfig::new(4, 4, 1);
+/// let placement = separated_placement(&spec, parallel, &BTreeMap::new());
+/// // A mixed cluster: stages on ranks 2–3 are priced on H20 devices.
+/// let topology = ClusterTopology::mixed_h800_h20(1, 1);
+/// let builder = StageGraphBuilder::new_on(&spec, &placement, &topology);
+/// let batch = BatchWorkload::new()
+///     .with(Modality::Text, ModalityWorkload::new(6502, 1))
+///     .with(Modality::Image, ModalityWorkload::new(1690, 10));
+/// let plan = SubMicrobatchPlan::uniform(placement.segments.len(), 1);
+/// let graph = builder.build(&[batch], &plan).unwrap();
+/// assert_eq!(graph.num_ranks, 4);
+/// ```
 #[derive(Debug, Clone)]
 pub struct StageGraphBuilder<'a> {
     spec: &'a LmmSpec,
@@ -235,9 +256,8 @@ impl<'a> StageGraphBuilder<'a> {
 
     /// The timing model pricing stages of pipeline rank `rank`.
     fn rank_timing(&self, rank: usize, tp: usize) -> TimingModel {
-        self.timing_override.unwrap_or_else(|| {
-            TimingModel::new(self.topology.rank_device(rank, tp), self.efficiency)
-        })
+        self.timing_override
+            .unwrap_or_else(|| self.topology.rank_timing(rank, tp, self.efficiency))
     }
 
     /// Communication lag of `bytes` flowing over the `from → to` rank edge,

@@ -8,7 +8,9 @@
 //!   pipeline ranks;
 //! * [`partition`] — partitioning algorithms: Megatron-style balanced
 //!   parameters, exhaustive balanced latency (the §2.3 study), and DIP's
-//!   separated modality-aware placement;
+//!   separated modality-aware placement in three [`PlacementMode`]s
+//!   (round-robin equal split, capacity-aware spec-sheet weighting, and the
+//!   latency-balanced per-device DP);
 //! * [`graph`] — the stage graph of one training iteration: every forward and
 //!   backward stage execution with its data dependencies, latencies and
 //!   memory effects;
@@ -23,7 +25,34 @@
 //!   interleaved VPP), nnScaler*, Optimus coarse-grained scheduling, and an
 //!   analytical FSDP/ZeRO-3 model.
 
-#![warn(missing_docs)]
+//! # Example
+//!
+//! Build DIP's separated placement for a VLM and turn one iteration's
+//! microbatches into a stage graph priced on a concrete cluster:
+//!
+//! ```
+//! use dip_models::{zoo, BatchWorkload, Modality, ModalityWorkload};
+//! use dip_pipeline::{separated_placement, ParallelConfig, StageGraphBuilder,
+//!                    SubMicrobatchPlan};
+//! use dip_sim::ClusterSpec;
+//! use std::collections::BTreeMap;
+//!
+//! let spec = zoo::vlm_s();
+//! let parallel = ParallelConfig::new(4, 4, 1);
+//! let placement = separated_placement(&spec, parallel, &BTreeMap::new());
+//! placement.validate(&spec).unwrap();
+//!
+//! let cluster = ClusterSpec::h800_cluster(2);
+//! let builder = StageGraphBuilder::new(&spec, &placement, &cluster);
+//! let batch = BatchWorkload::new()
+//!     .with(Modality::Text, ModalityWorkload::new(6502, 1))
+//!     .with(Modality::Image, ModalityWorkload::new(1690, 10));
+//! let plan = SubMicrobatchPlan::uniform(placement.segments.len(), 1);
+//! let graph = builder.build(&[batch], &plan).unwrap();
+//! assert!(graph.critical_rank_time() > 0.0);
+//! ```
+
+#![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod baselines;
@@ -39,7 +68,7 @@ pub use executor::{execute, ExecutionOutcome, ExecutorConfig};
 pub use graph::{Direction, StageGraph, StageGraphBuilder, StageId, SubMicrobatchPlan, WorkItem};
 pub use partition::{
     balanced_latency_placement, balanced_param_placement, capacity_aware_separated_placement,
-    separated_placement, PlacementMode,
+    latency_balanced_separated_placement, separated_placement, PlacementMode,
 };
 pub use placement::{ChunkPiece, ModelChunk, ParallelConfig, PipelineError, Placement, Segment};
 pub use strategy::{MemoryPlan, MemoryStrategy};

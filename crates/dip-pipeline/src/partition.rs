@@ -2,12 +2,39 @@
 
 use crate::placement::{ChunkPiece, ModelChunk, ParallelConfig, Placement, Segment};
 use dip_models::{BatchWorkload, LmmSpec, ModuleId};
-use dip_sim::{ClusterTopology, TimingModel};
+use dip_sim::{ClusterTopology, EfficiencyModel, TimingModel};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// How DIP's separated placement distributes a module's layers across the
 /// pipeline ranks.
+///
+/// ```
+/// use dip_models::{zoo, BatchWorkload, Modality, ModalityWorkload};
+/// use dip_pipeline::{capacity_aware_separated_placement,
+///                    latency_balanced_separated_placement, ParallelConfig};
+/// use dip_sim::{ClusterTopology, EfficiencyModel};
+/// use std::collections::BTreeMap;
+///
+/// let spec = zoo::vlm_s();
+/// let parallel = ParallelConfig::new(4, 4, 1);
+/// let workload = BatchWorkload::new()
+///     .with(Modality::Text, ModalityWorkload::new(6502, 1))
+///     .with(Modality::Image, ModalityWorkload::new(1690, 10));
+///
+/// // On a uniform cluster every mode produces the same equal split …
+/// let uniform = ClusterTopology::mixed_h800_h20(2, 0);
+/// let aware = capacity_aware_separated_placement(&spec, parallel, &BTreeMap::new(), &uniform);
+/// let balanced = latency_balanced_separated_placement(
+///     &spec, parallel, &BTreeMap::new(), &uniform, EfficiencyModel::default(), &workload);
+/// assert_eq!(aware, balanced);
+///
+/// // … on a mixed cluster they diverge, and both still cover the model.
+/// let mixed = ClusterTopology::mixed_h800_h20(1, 1);
+/// let balanced = latency_balanced_separated_placement(
+///     &spec, parallel, &BTreeMap::new(), &mixed, EfficiencyModel::default(), &workload);
+/// balanced.validate(&spec).unwrap();
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub enum PlacementMode {
     /// Equal layer counts per rank, ignoring the devices backing them (the
@@ -21,6 +48,19 @@ pub enum PlacementMode {
     /// topology this reduces bit-exactly to [`PlacementMode::RoundRobin`].
     #[default]
     CapacityAware,
+    /// Layer counts chosen by an nnScaler-style dynamic program that
+    /// minimises the maximum *simulated* per-stage latency, pricing every
+    /// layer via the hosting rank's own timing model
+    /// ([`dip_sim::ClusterTopology::rank_timing`]). Unlike
+    /// [`PlacementMode::CapacityAware`] — which weighs layers by static
+    /// spec-sheet capability (peak FLOP/s or HBM capacity) — this mode sees
+    /// memory-bound layers and small-kernel efficiency roll-off, because the
+    /// weights come from the same analytical latency model the simulator
+    /// uses. Segment counts `K_i` are also priced on the hosting ranks
+    /// instead of the reference device. On any uniform topology this mode
+    /// reduces bit-exactly to [`PlacementMode::CapacityAware`] (and hence to
+    /// the equal split).
+    LatencyBalanced,
 }
 
 /// A single model layer in the global (cross-module) execution order.
@@ -55,43 +95,44 @@ fn chunk_from_layers(layers: &[GlobalLayer]) -> ModelChunk {
     ModelChunk { pieces }
 }
 
-/// Splits `weights` (one entry per global layer) into `parts` contiguous
-/// groups minimising the maximum group weight, returning the boundary
-/// indices (length `parts + 1`, starting at 0 and ending at `weights.len()`).
-/// Groups may be empty when there are fewer layers than parts.
-fn min_max_contiguous_split(weights: &[f64], parts: usize) -> Vec<usize> {
-    let n = weights.len();
+/// Splits `n` layers into `parts` contiguous chunks minimising the maximum
+/// chunk cost, where the cost of chunk `c` (0-based) covering layers `j..i`
+/// is `chunk_cost(c, j, i)` — `f64::INFINITY` marks an infeasible chunk.
+/// Returns the chunk boundaries (length `parts + 1`, starting at 0 and
+/// ending at `n`; chunks may be empty when there are fewer layers than
+/// parts), or `None` when no feasible split exists.
+fn min_max_split(
+    n: usize,
+    parts: usize,
+    chunk_cost: impl Fn(usize, usize, usize) -> f64,
+) -> Option<Vec<usize>> {
     let parts = parts.max(1);
     if n == 0 {
-        return vec![0; parts + 1];
+        return Some(vec![0; parts + 1]);
     }
-    // Prefix sums.
-    let mut prefix = vec![0.0f64; n + 1];
-    for (i, w) in weights.iter().enumerate() {
-        prefix[i + 1] = prefix[i] + w;
-    }
-    let sum = |a: usize, b: usize| prefix[b] - prefix[a];
-
-    // dp[k][i] = minimal possible maximum group weight splitting the first i
-    // layers into k groups.
+    // dp[k][i] = minimal possible maximum chunk cost placing the first i
+    // layers into the first k chunks.
     const INF: f64 = f64::INFINITY;
     let mut dp = vec![vec![INF; n + 1]; parts + 1];
     let mut cut = vec![vec![0usize; n + 1]; parts + 1];
     dp[0][0] = 0.0;
     for k in 1..=parts {
         for i in 0..=n {
-            // Last group covers layers j..i.
+            // Chunk k-1 covers layers j..i.
             for j in 0..=i {
                 if dp[k - 1][j] == INF {
                     continue;
                 }
-                let candidate = dp[k - 1][j].max(sum(j, i));
+                let candidate = dp[k - 1][j].max(chunk_cost(k - 1, j, i));
                 if candidate < dp[k][i] {
                     dp[k][i] = candidate;
                     cut[k][i] = j;
                 }
             }
         }
+    }
+    if dp[parts][n] == INF {
+        return None;
     }
     // Reconstruct boundaries.
     let mut bounds = vec![0usize; parts + 1];
@@ -102,7 +143,21 @@ fn min_max_contiguous_split(weights: &[f64], parts: usize) -> Vec<usize> {
         bounds[k - 1] = j;
         i = j;
     }
-    bounds
+    Some(bounds)
+}
+
+/// Splits `weights` (one entry per global layer) into `parts` contiguous
+/// groups minimising the maximum group weight, returning the boundary
+/// indices (length `parts + 1`, starting at 0 and ending at `weights.len()`).
+/// Groups may be empty when there are fewer layers than parts.
+fn min_max_contiguous_split(weights: &[f64], parts: usize) -> Vec<usize> {
+    let n = weights.len();
+    let mut prefix = vec![0.0f64; n + 1];
+    for (i, w) in weights.iter().enumerate() {
+        prefix[i + 1] = prefix[i] + w;
+    }
+    min_max_split(n, parts, |_, j, i| prefix[i] - prefix[j])
+        .expect("uniform-cost min-max split always has a solution")
 }
 
 /// Builds a placement from global-layer chunk boundaries, arranging the
@@ -228,6 +283,156 @@ pub fn capacity_aware_separated_placement(
     })
 }
 
+/// DIP's separated placement over a heterogeneous cluster, balanced on
+/// *simulated latency* ([`PlacementMode::LatencyBalanced`]): each module is
+/// still split into `pp * K_i` contiguous chunks forming `K_i` dedicated
+/// segments, but the chunk boundaries come from an nnScaler-style dynamic
+/// program that minimises the maximum per-chunk latency, where chunk
+/// `c = seg*pp + r` is priced via rank `r`'s own timing model
+/// ([`ClusterTopology::rank_timing`]). Because every rank executes exactly
+/// `K_i` chunks of the module, balancing chunk latency balances per-rank
+/// latency; and because the weights are simulated latencies rather than
+/// spec-sheet peaks, memory-bound layers and small-kernel efficiency
+/// roll-off shift layers exactly like they will at execution time.
+///
+/// A chunk whose parameter state alone would overflow the hosting device's
+/// usable memory is infeasible for the DP; if no feasible split exists the
+/// constraint is dropped (the memory planner deals with the overflow
+/// downstream) rather than failing placement.
+///
+/// On a uniform topology every rank prices layers identically and the DP
+/// would merely re-derive a latency-balanced equal split with
+/// floating-point tie-breaks; to keep uniform clusters bit-identical across
+/// all placement modes (a property the plan cache and the topology-identity
+/// proptests rely on), this function short-circuits to
+/// [`capacity_aware_separated_placement`] — itself bit-identical to the
+/// equal split — whenever [`ClusterTopology::is_uniform`] holds.
+pub fn latency_balanced_separated_placement(
+    spec: &LmmSpec,
+    parallel: ParallelConfig,
+    segments_per_module: &BTreeMap<ModuleId, usize>,
+    topology: &ClusterTopology,
+    efficiency: EfficiencyModel,
+    representative: &BatchWorkload,
+) -> Placement {
+    if topology.is_uniform() {
+        return capacity_aware_separated_placement(spec, parallel, segments_per_module, topology);
+    }
+    let pp = parallel.pp;
+    let tp = parallel.tp;
+    let timings: Vec<TimingModel> = (0..pp)
+        .map(|r| topology.rank_timing(r, tp, efficiency))
+        .collect();
+    let budgets: Vec<u64> = (0..pp)
+        .map(|r| topology.rank_device(r, tp).usable_memory())
+        .collect();
+    let workloads: BTreeMap<ModuleId, _> =
+        spec.module_workloads(representative).into_iter().collect();
+
+    let mut segments = Vec::new();
+    for (id, module) in spec.iter() {
+        let k = segments_per_module.get(&id).copied().unwrap_or(1).max(1);
+        let n = module.num_layers();
+        let wl = workloads.get(&id).copied().unwrap_or_default();
+        // Layer costs are rank-independent; only the pricing is per device.
+        let costs: Vec<_> = (0..n)
+            .map(|l| module.cost_of_layers(l..l + 1, &wl, tp))
+            .collect();
+        // Per-rank per-layer fwd+bwd latency, priced on each rank's device.
+        let latencies: Vec<Vec<f64>> = timings
+            .iter()
+            .map(|t| {
+                costs
+                    .iter()
+                    .map(|cost| t.forward_latency(cost) + t.backward_latency(cost))
+                    .collect()
+            })
+            .collect();
+        // Per-layer parameter counts for the memory-feasibility guard; the
+        // guard prices whole chunks with the exact
+        // [`Placement::static_memory_per_rank`] accounting.
+        let param_counts: Vec<u64> = (0..n).map(|l| module.layers()[l].param_count()).collect();
+        let bounds = min_max_rank_aware_split(&latencies, &param_counts, &budgets, pp, k, tp);
+        segments.extend(segments_from_bounds(id, &bounds, pp, k));
+    }
+    Placement { parallel, segments }
+}
+
+/// Assembles the `k` segments of one module from its `pp * k + 1` chunk
+/// boundaries: chunk `c = seg*pp + r` is executed by rank `r = c % pp`.
+/// Shared by every separated placement so the chunk→rank mapping convention
+/// cannot diverge between placement modes.
+fn segments_from_bounds(id: ModuleId, bounds: &[usize], pp: usize, k: usize) -> Vec<Segment> {
+    (0..k)
+        .map(|seg| {
+            let chunks: Vec<ModelChunk> = (0..pp)
+                .map(|r| {
+                    let c = seg * pp + r;
+                    ModelChunk::single(id, bounds[c]..bounds[c + 1])
+                })
+                .collect();
+            Segment {
+                chunks,
+                module: Some(id),
+            }
+        })
+        .collect()
+}
+
+/// Splits `n` layers into `pp * k` contiguous chunks minimising the maximum
+/// chunk latency, where chunk `c` is priced with `latencies[c % pp]` (the
+/// hosting rank's per-layer latency table). A chunk whose optimizer state
+/// (priced from `param_counts` with the exact
+/// [`Placement::static_memory_per_rank`] accounting) exceeds the hosting
+/// rank's budget is infeasible; if that leaves no feasible split at all,
+/// the guard is dropped and the DP reruns unconstrained. Returns the chunk
+/// boundaries (length `pp * k + 1`).
+fn min_max_rank_aware_split(
+    latencies: &[Vec<f64>],
+    param_counts: &[u64],
+    budgets: &[u64],
+    pp: usize,
+    k: usize,
+    tp: usize,
+) -> Vec<usize> {
+    let n = param_counts.len();
+    let parts = (pp * k).max(1);
+    // Per-rank latency prefix sums and the shared parameter-count prefix.
+    let lat_prefix: Vec<Vec<f64>> = latencies
+        .iter()
+        .map(|per_layer| {
+            let mut p = vec![0.0f64; n + 1];
+            for (i, w) in per_layer.iter().enumerate() {
+                p[i + 1] = p[i] + w;
+            }
+            p
+        })
+        .collect();
+    let mut param_prefix = vec![0u64; n + 1];
+    for (i, p) in param_counts.iter().enumerate() {
+        param_prefix[i + 1] = param_prefix[i] + p;
+    }
+    // Whole-chunk pricing, dividing by tp once per chunk exactly like
+    // `Placement::static_memory_per_rank` does.
+    let chunk_bytes = |j: usize, i: usize| {
+        (param_prefix[i] - param_prefix[j]) * crate::placement::OPTIMIZER_STATE_BYTES_PER_PARAM
+            / tp.max(1) as u64
+    };
+
+    let solve = |enforce_memory: bool| {
+        min_max_split(n, parts, |c, j, i| {
+            let rank = c % pp;
+            if enforce_memory && chunk_bytes(j, i) > budgets[rank] {
+                return f64::INFINITY;
+            }
+            lat_prefix[rank][i] - lat_prefix[rank][j]
+        })
+    };
+    solve(true)
+        .or_else(|| solve(false))
+        .expect("unconstrained min-max split always has a solution")
+}
+
 /// Shared core of the separated placements: split each module's `n` layers
 /// into `pp * K_i` contiguous chunks whose sizes follow the per-rank weight
 /// function (uniform weights give the equal `(c*n)/total` split).
@@ -255,18 +460,7 @@ fn separated_placement_weighted(
             prefix += weights[c % pp];
             bounds.push(((prefix * n as u128) / total_weight) as usize);
         }
-        for seg in 0..k {
-            let chunks: Vec<ModelChunk> = (0..pp)
-                .map(|r| {
-                    let c = seg * pp + r;
-                    ModelChunk::single(id, bounds[c]..bounds[c + 1])
-                })
-                .collect();
-            segments.push(Segment {
-                chunks,
-                module: Some(id),
-            });
-        }
+        segments.extend(segments_from_bounds(id, &bounds, pp, k));
     }
     Placement { parallel, segments }
 }

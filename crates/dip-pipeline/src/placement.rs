@@ -6,6 +6,13 @@ use std::collections::BTreeMap;
 use std::fmt;
 use std::ops::Range;
 
+/// Bytes of persistent optimizer state per model parameter: bf16 weight +
+/// bf16 gradient + fp32 master weight + two fp32 Adam moments. Shared by
+/// [`Placement::static_memory_per_rank`] and the latency-balanced
+/// placement's memory-feasibility guard so the two accountings can never
+/// diverge.
+pub(crate) const OPTIMIZER_STATE_BYTES_PER_PARAM: u64 = 2 + 2 + 4 + 4 + 4;
+
 /// The 3D parallelism configuration of a training job.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct ParallelConfig {
@@ -282,8 +289,7 @@ impl Placement {
         for seg in &self.segments {
             for (rank, chunk) in seg.chunks.iter().enumerate() {
                 let params = chunk.param_count(spec);
-                // bf16 weights + bf16 grads + fp32 master + 2 fp32 moments.
-                let bytes = params * (2 + 2 + 12);
+                let bytes = params * OPTIMIZER_STATE_BYTES_PER_PARAM;
                 per_rank[rank] += bytes / tp;
             }
         }

@@ -10,8 +10,10 @@
 //! * [`hardware`] — GPU and cluster specifications (H800, H20, H100 presets
 //!   matching the paper's testbeds);
 //! * [`topology`] — heterogeneous cluster topologies: per-node device
-//!   groups, the rank-pair link model (NVLink vs RoCE per edge) and stable
-//!   topology fingerprints for plan-cache keys;
+//!   groups, the rank-pair link model (NVLink vs RoCE per edge), the
+//!   per-device latency query ([`ClusterTopology::rank_timing`]) behind
+//!   latency-balanced placement, and stable topology fingerprints for
+//!   plan-cache keys;
 //! * [`efficiency`] — efficiency scaling factors plus a utilisation curve
 //!   that models the drop-off for very small kernels (the effect behind the
 //!   95%-of-peak sub-microbatch sizing rule, §4 / Fig. 9);
@@ -24,7 +26,26 @@
 //! * [`calibration`] — fits efficiency factors against "measured" reference
 //!   executions (the pre-/post-calibration study of Fig. 13).
 
-#![warn(missing_docs)]
+//! # Example
+//!
+//! Describe a mixed cluster and ask it the questions the planner asks:
+//!
+//! ```
+//! use dip_sim::{ClusterTopology, EfficiencyModel};
+//!
+//! // 1 node × 8 H800 + 1 node × 8 H20 (the paper's Table 4 device mix).
+//! let topo = ClusterTopology::mixed_h800_h20(1, 1);
+//! assert!(!topo.is_uniform());
+//! // At TP=4, ranks 0–1 sit on H800 devices, ranks 2–3 on H20 devices …
+//! assert!(topo.rank_device(0, 4).peak_flops > topo.rank_device(2, 4).peak_flops);
+//! // … and the rank 1 → 2 edge crosses the node boundary (RoCE, not NVLink).
+//! assert!(topo.link_bandwidth(1, 2, 4) < topo.link_bandwidth(0, 1, 4));
+//! // Per-device timing models price layers on the hosting rank's GPU.
+//! let timing = topo.rank_timing(2, 4, EfficiencyModel::default());
+//! assert_eq!(timing.gpu, topo.rank_device(2, 4));
+//! ```
+
+#![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod calibration;

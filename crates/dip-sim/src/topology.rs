@@ -20,7 +20,9 @@
 //! aggregate (peak FLOP/s, planner cores, usable memory) reduces to the same
 //! value, so uniform-topology plans are identical to the spec-based path.
 
+use crate::efficiency::EfficiencyModel;
 use crate::hardware::{ClusterSpec, GpuGeneration, GpuSpec};
+use crate::timing::TimingModel;
 use serde::{Deserialize, Serialize};
 
 /// One node of a cluster: a group of identical GPUs with a shared NVLink
@@ -186,6 +188,27 @@ impl ClusterTopology {
     /// kinds).
     pub fn rank_device(&self, rank: usize, tp: usize) -> GpuSpec {
         self.gpu(self.rank_gpu(rank, tp))
+    }
+
+    /// The timing model of the device hosting pipeline rank `rank` — the
+    /// per-device latency query behind latency-balanced placement and
+    /// per-rank stage pricing: callers hand the returned model a
+    /// [`dip_models::LayerCost`] (via [`TimingModel::forward_latency`] /
+    /// [`TimingModel::backward_latency`]) to price a layer *on the GPU that
+    /// will actually execute it*, so memory-bound layers and small-kernel
+    /// efficiency roll-off count, not just spec-sheet peak FLOP/s.
+    ///
+    /// ```
+    /// use dip_sim::{ClusterTopology, EfficiencyModel};
+    ///
+    /// let topo = ClusterTopology::mixed_h800_h20(1, 1);
+    /// let eff = EfficiencyModel::default();
+    /// // At TP=4, rank 0 is hosted on an H800, rank 2 on an H20.
+    /// assert_eq!(topo.rank_timing(0, 4, eff).gpu, topo.rank_device(0, 4));
+    /// assert_eq!(topo.rank_timing(2, 4, eff).gpu, topo.rank_device(2, 4));
+    /// ```
+    pub fn rank_timing(&self, rank: usize, tp: usize, efficiency: EfficiencyModel) -> TimingModel {
+        TimingModel::new(self.rank_device(rank, tp), efficiency)
     }
 
     /// Whether two pipeline ranks live in the same node.

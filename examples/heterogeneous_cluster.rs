@@ -1,14 +1,21 @@
 //! Planning on a heterogeneous cluster: one node of H800s plus one node of
 //! H20s (the two device kinds of the paper's Table 4 testbeds, mixed).
 //!
+//! The placement mode can be chosen with the first CLI argument or the
+//! `DIP_PLACEMENT` environment variable (`round-robin`, `capacity-aware`,
+//! `latency-balanced`, or `all` to compare — the default):
+//!
 //! ```console
 //! $ cargo run --release --example heterogeneous_cluster
+//! $ cargo run --release --example heterogeneous_cluster -- latency-balanced
+//! $ DIP_PLACEMENT=capacity-aware cargo run --release --example heterogeneous_cluster
 //! ```
 //!
-//! The capacity-aware placement mode gives FLOP-heavy LLM backbone layers
-//! to the H800 ranks (≈6.7× the compute) and leans the memory-heavy ViT
-//! encoder towards the H20 ranks (20% more HBM), instead of pretending all
-//! ranks are equal.
+//! The capacity-aware mode distributes layers by spec-sheet capability
+//! (peak FLOP/s for the backbone, HBM capacity for modality modules); the
+//! latency-balanced mode runs an nnScaler-style DP on *simulated* per-layer
+//! latency priced on each hosting rank's own device, which also captures
+//! memory-bound layers and small-kernel efficiency roll-off.
 
 use dip_core::{DipPlanner, PlanRequest, PlannerConfig, PlanningSession, SessionConfig};
 use dip_models::{zoo, BatchWorkload, Modality, ModalityWorkload};
@@ -24,7 +31,45 @@ fn vlm_batch(images: u64) -> BatchWorkload {
         .with(Modality::Image, ModalityWorkload::new(images * 169, images))
 }
 
+/// The canonical CLI/env name of a placement mode.
+fn mode_name(mode: PlacementMode) -> &'static str {
+    match mode {
+        PlacementMode::RoundRobin => "round-robin",
+        PlacementMode::CapacityAware => "capacity-aware",
+        PlacementMode::LatencyBalanced => "latency-balanced",
+    }
+}
+
+const ALL_MODES: [PlacementMode; 3] = [
+    PlacementMode::RoundRobin,
+    PlacementMode::CapacityAware,
+    PlacementMode::LatencyBalanced,
+];
+
+/// Parses the requested placement mode(s) from argv[1] or `DIP_PLACEMENT`;
+/// `all` (or nothing) selects every mode for comparison.
+fn requested_modes() -> Vec<PlacementMode> {
+    let choice = std::env::args()
+        .nth(1)
+        .or_else(|| std::env::var("DIP_PLACEMENT").ok())
+        .unwrap_or_else(|| "all".into());
+    match choice.as_str() {
+        "all" => ALL_MODES.to_vec(),
+        other => match ALL_MODES.iter().find(|&&m| mode_name(m) == other) {
+            Some(&m) => vec![m],
+            None => {
+                eprintln!(
+                    "unknown placement mode {other:?}; expected one of \
+                     round-robin, capacity-aware, latency-balanced, all"
+                );
+                std::process::exit(2);
+            }
+        },
+    }
+}
+
 fn main() {
+    let modes = requested_modes();
     let spec = zoo::vlm_s();
     let parallel = ParallelConfig::new(4, 4, 1);
     // 1 node × 8 H800 + 1 node × 8 H20: at TP=4, pipeline ranks 0–1 run on
@@ -48,10 +93,7 @@ fn main() {
     let batches: Vec<BatchWorkload> = [24u64, 8, 40, 2].iter().map(|&i| vlm_batch(i)).collect();
     let request = PlanRequest::new(batches);
 
-    for (label, placement) in [
-        ("round-robin   ", PlacementMode::RoundRobin),
-        ("capacity-aware", PlacementMode::CapacityAware),
-    ] {
+    for placement in modes {
         let mut config = PlannerConfig::fast();
         config.partitioner.placement = placement;
         let session = PlanningSession::from_planner(
@@ -60,8 +102,10 @@ fn main() {
         );
         let (_, execution) = session.plan_and_simulate(&request).unwrap();
         println!(
-            "{label}: iteration {:.3} s, MFU {:.3}",
-            execution.metrics.iteration_time_s, execution.metrics.mfu
+            "placement {:<16}: iteration {:.3} s, MFU {:.3}",
+            mode_name(placement),
+            execution.metrics.iteration_time_s,
+            execution.metrics.mfu
         );
     }
 }

@@ -9,9 +9,10 @@
 //! * [`solver`] — MCKP and group-choice ILP solvers;
 //! * [`pipeline`] — placements, stage graphs, interleaving and baselines;
 //! * [`core`] — the DIP planner and the [`core::PlanningSession`] layer;
-//! * [`bench`] — the shared experiment harness.
+//! * [`mod@bench`] — the shared experiment harness.
 //!
-//! See the repository `README.md` for the architecture map and quickstart.
+//! See the repository `README.md` for the quickstart and `ARCHITECTURE.md`
+//! for the layer-by-layer map of the planning stack.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]

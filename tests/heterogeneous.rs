@@ -89,6 +89,36 @@ fn heterogeneous_sessions_cache_and_respect_per_device_memory() {
 }
 
 #[test]
+fn latency_balanced_sessions_respect_per_device_memory_end_to_end() {
+    // Same property as the capacity-aware test above, under the
+    // latency-balanced mode: the DP shifts far more layers onto the H800
+    // ranks than the capacity heuristic does, so the simulated peak on
+    // each rank must still stay within that rank's own device budget.
+    let spec = zoo::vlm_s();
+    let parallel = ParallelConfig::new(4, 4, 1);
+    let topology = ClusterTopology::mixed_h800_h20(1, 1);
+    let mut config = PlannerConfig::fast();
+    config.partitioner.placement = PlacementMode::LatencyBalanced;
+    let session = PlanningSession::from_planner(
+        DipPlanner::on_topology(&spec, parallel, topology.clone(), config),
+        SessionConfig::default(),
+    );
+    let (_, execution) = session
+        .plan_and_simulate(&PlanRequest::new(batches()))
+        .unwrap();
+    for timeline in &execution.report.ranks {
+        let device = topology.rank_device(timeline.rank, parallel.tp);
+        assert!(
+            timeline.peak_memory <= device.usable_memory() as i64,
+            "rank {} peaks at {} bytes, exceeding its own device's usable {}",
+            timeline.rank,
+            timeline.peak_memory,
+            device.usable_memory()
+        );
+    }
+}
+
+#[test]
 fn mixed_cluster_lands_between_the_uniform_clusters() {
     // Iteration time should order uniform-H800 ≤ mixed ≤ uniform-H20: the
     // H20's 6.7× lower compute dominates, and the mixed cluster sits in

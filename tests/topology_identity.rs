@@ -1,12 +1,13 @@
 //! Topology-refactor identity properties: a uniform [`ClusterTopology`]
 //! built from any [`ClusterSpec`] must plan bit-identically to the
-//! spec-based path (the pre-refactor entry point), and topology
+//! spec-based path (the pre-refactor entry point), every placement mode
+//! must reduce to that same plan on uniform topologies, and topology
 //! fingerprints must separate any two clusters that differ in any rank's
 //! device.
 
 use dip_core::{DipPlan, DipPlanner, PlanRequest, PlannerConfig, PlanningSession, SessionConfig};
 use dip_models::{zoo, BatchWorkload, Modality, ModalityWorkload};
-use dip_pipeline::ParallelConfig;
+use dip_pipeline::{ParallelConfig, PlacementMode};
 use dip_sim::{ClusterSpec, ClusterTopology, GpuGeneration, GpuSpec, NodeSpec};
 use proptest::prelude::*;
 use std::time::Duration;
@@ -79,6 +80,44 @@ proptest! {
         // And both simulate to the exact same iteration time.
         let ta = via_spec.simulate(&a.plan).unwrap().metrics.iteration_time_s;
         let tb = via_topology.simulate(&b.plan).unwrap().metrics.iteration_time_s;
+        prop_assert_eq!(ta.to_bits(), tb.to_bits());
+    }
+
+    /// On a uniform topology the latency-balanced placement mode must plan
+    /// bit-identically to the capacity-aware default (which in turn equals
+    /// the round-robin equal split): the heterogeneity machinery — the
+    /// per-rank latency DP and the hosting-rank segment-count pricing —
+    /// must vanish completely when every device is the same, so uniform
+    /// clusters keep one canonical plan across all placement modes.
+    #[test]
+    fn latency_balanced_plans_bit_identically_on_uniform_topologies(
+        nodes in 2usize..5,
+        images_a in 0u64..49,
+        images_b in 0u64..49,
+    ) {
+        let spec = zoo::vlm_s();
+        let parallel = ParallelConfig::new(4, 4, 1);
+        let topology = ClusterSpec::h800_cluster(nodes).topology();
+        let request = PlanRequest::new(vec![vlm_batch(images_a), vlm_batch(images_b)]);
+
+        let session_for = |placement: PlacementMode| {
+            let mut config = deterministic_config();
+            config.partitioner.placement = placement;
+            PlanningSession::from_planner(
+                DipPlanner::on_topology(&spec, parallel, topology.clone(), config),
+                SessionConfig::default(),
+            )
+        };
+        let aware = session_for(PlacementMode::CapacityAware);
+        let balanced = session_for(PlacementMode::LatencyBalanced);
+
+        let a = aware.plan(&request).unwrap();
+        let b = balanced.plan(&request).unwrap();
+        prop_assert_eq!(a.signature, b.signature);
+        assert_plans_bit_identical(&a.plan, &b.plan);
+
+        let ta = aware.simulate(&a.plan).unwrap().metrics.iteration_time_s;
+        let tb = balanced.simulate(&b.plan).unwrap().metrics.iteration_time_s;
         prop_assert_eq!(ta.to_bits(), tb.to_bits());
     }
 
