@@ -1,0 +1,229 @@
+//! The CI bench gate: compares machine-readable bench reports (produced by
+//! the fig binaries under `DIP_BENCH_JSON`) against the committed
+//! `BENCH_baseline.json`, failing on
+//!
+//! * any **simulated-time regression above 15%** (`sim_time` metrics —
+//!   improvements always pass), or
+//! * any **determinism mismatch** (`determinism` metrics must reproduce
+//!   the baseline bit for bit: fixed-seed plans, evaluation counts and
+//!   cache totals are machine-independent by construction, so any drift is
+//!   a bug or an unacknowledged behaviour change).
+//!
+//! `info` metrics (wall-clock timings) are recorded in the artifact but
+//! never compared.
+//!
+//! Usage:
+//!
+//! ```text
+//! bench_check --baseline BENCH_baseline.json current1.json [current2.json ...]
+//! bench_check --write-baseline BENCH_baseline.json current1.json [...]
+//! ```
+//!
+//! `--write-baseline` merges the given reports into a fresh baseline file —
+//! run it after an *intentional* planner change and commit the result.
+
+use dip_bench::json::{self, JsonValue};
+use dip_bench::{BenchReport, MetricKind};
+use std::process::ExitCode;
+
+/// Regression tolerance for `sim_time` metrics.
+const SIM_TIME_TOLERANCE: f64 = 0.15;
+
+fn load_reports(path: &str) -> Result<Vec<BenchReport>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let value = json::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    match &value {
+        JsonValue::Array(items) => items
+            .iter()
+            .map(|item| BenchReport::from_json_value(item).map_err(|e| format!("{path}: {e}")))
+            .collect(),
+        _ => BenchReport::from_json_value(&value)
+            .map(|r| vec![r])
+            .map_err(|e| format!("{path}: {e}")),
+    }
+}
+
+fn write_baseline(path: &str, reports: &[BenchReport]) -> Result<(), String> {
+    let array = JsonValue::Array(reports.iter().map(BenchReport::to_json_value).collect());
+    std::fs::write(path, array.to_json()).map_err(|e| format!("cannot write {path}: {e}"))?;
+    println!(
+        "wrote baseline {path}: {} report(s), {} metric(s)",
+        reports.len(),
+        reports.iter().map(|r| r.metrics.len()).sum::<usize>()
+    );
+    Ok(())
+}
+
+struct Failure {
+    bench: String,
+    metric: String,
+    reason: String,
+}
+
+fn compare(baseline: &[BenchReport], current: &[BenchReport]) -> (Vec<Failure>, usize) {
+    let mut failures = Vec::new();
+    let mut compared = 0usize;
+    // Both directions are gated: a baseline bench that the CI invocation
+    // dropped (workflow typo) must not silently pass, and neither must a
+    // gated metric that only exists in the current run (new metric whose
+    // baseline was never regenerated — it would be unguarded forever).
+    for base in baseline {
+        if !current.iter().any(|c| c.bench == base.bench) {
+            failures.push(Failure {
+                bench: base.bench.clone(),
+                metric: "<report>".into(),
+                reason:
+                    "baseline bench missing from the current run (was the bin dropped from CI?)"
+                        .into(),
+            });
+        }
+    }
+    for cur in current {
+        let Some(base) = baseline.iter().find(|b| b.bench == cur.bench) else {
+            failures.push(Failure {
+                bench: cur.bench.clone(),
+                metric: "<report>".into(),
+                reason: "bench missing from the baseline (regenerate with --write-baseline)".into(),
+            });
+            continue;
+        };
+        if base.scale != cur.scale {
+            failures.push(Failure {
+                bench: cur.bench.clone(),
+                metric: "<scale>".into(),
+                reason: format!(
+                    "scale mismatch: baseline '{}' vs current '{}' (set DIP_BENCH_SCALE to match)",
+                    base.scale, cur.scale
+                ),
+            });
+            continue;
+        }
+        for metric in &base.metrics {
+            if metric.kind == MetricKind::Info {
+                continue;
+            }
+            let Some(now) = cur.metric(&metric.name) else {
+                failures.push(Failure {
+                    bench: cur.bench.clone(),
+                    metric: metric.name.clone(),
+                    reason: "metric missing from the current run".into(),
+                });
+                continue;
+            };
+            compared += 1;
+            match metric.kind {
+                MetricKind::Determinism => {
+                    if now.value.to_bits() != metric.value.to_bits() {
+                        failures.push(Failure {
+                            bench: cur.bench.clone(),
+                            metric: metric.name.clone(),
+                            reason: format!(
+                                "determinism mismatch: baseline {} vs current {}",
+                                metric.value, now.value
+                            ),
+                        });
+                    }
+                }
+                MetricKind::SimTime => {
+                    let limit = metric.value * (1.0 + SIM_TIME_TOLERANCE);
+                    if now.value > limit {
+                        failures.push(Failure {
+                            bench: cur.bench.clone(),
+                            metric: metric.name.clone(),
+                            reason: format!(
+                                "simulated-time regression: baseline {} → current {} (+{:.1}%, limit +{:.0}%)",
+                                metric.value,
+                                now.value,
+                                (now.value / metric.value - 1.0) * 100.0,
+                                SIM_TIME_TOLERANCE * 100.0
+                            ),
+                        });
+                    }
+                }
+                MetricKind::Info => unreachable!("info metrics are skipped above"),
+            }
+        }
+        for metric in &cur.metrics {
+            if metric.kind != MetricKind::Info && base.metric(&metric.name).is_none() {
+                failures.push(Failure {
+                    bench: cur.bench.clone(),
+                    metric: metric.name.clone(),
+                    reason: "gated metric absent from the baseline (regenerate with --write-baseline so it is guarded)".into(),
+                });
+            }
+        }
+    }
+    (failures, compared)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let usage = "usage: bench_check --baseline <BENCH_baseline.json> <current.json>... \
+                 | --write-baseline <BENCH_baseline.json> <current.json>...";
+    let (mode, rest) = match args.split_first() {
+        Some((flag, rest)) if flag == "--baseline" || flag == "--write-baseline" => {
+            (flag.clone(), rest)
+        }
+        _ => {
+            eprintln!("{usage}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let Some((baseline_path, current_paths)) = rest.split_first() else {
+        eprintln!("{usage}");
+        return ExitCode::FAILURE;
+    };
+    if current_paths.is_empty() {
+        eprintln!("{usage}");
+        return ExitCode::FAILURE;
+    }
+
+    let mut current = Vec::new();
+    for path in current_paths {
+        match load_reports(path) {
+            Ok(reports) => current.extend(reports),
+            Err(e) => {
+                eprintln!("bench_check: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    if mode == "--write-baseline" {
+        return match write_baseline(baseline_path, &current) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("bench_check: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    let baseline = match load_reports(baseline_path) {
+        Ok(reports) => reports,
+        Err(e) => {
+            eprintln!("bench_check: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let (failures, compared) = compare(&baseline, &current);
+    println!(
+        "bench_check: {} report(s), {compared} gated metric(s) compared against {baseline_path}",
+        current.len()
+    );
+    if failures.is_empty() {
+        println!("bench_check: OK — no simulated-time regression, no determinism mismatch");
+        ExitCode::SUCCESS
+    } else {
+        println!("bench_check: {} FAILURE(S)", failures.len());
+        for f in &failures {
+            println!("  [{}] {}: {}", f.bench, f.metric, f.reason);
+        }
+        println!(
+            "If the change is intentional, regenerate the baseline: \
+             bench_check --write-baseline {baseline_path} <current.json>... and commit it."
+        );
+        ExitCode::FAILURE
+    }
+}

@@ -10,7 +10,7 @@
 //! cost. The session statistics printed at the end make the saving
 //! observable.
 
-use dip_bench::{fmt_s, print_table, ExperimentScale};
+use dip_bench::{fmt_s, print_table, BenchReport, ExperimentScale, MetricKind};
 use dip_core::{PlanRequest, PlannerConfig, PlanningSession, SessionStats};
 use dip_data::{BatchGenerator, DatasetMix, DynamicWorkloadController, ImageBoundSchedule};
 use dip_models::zoo;
@@ -61,7 +61,10 @@ fn main() {
         .offline_partition(&representative)
         .expect("offline partitioning");
 
+    let mut report = BenchReport::from_env("fig8b_dynamic");
     let mut rows = Vec::new();
+    let mut sums = [0.0f64; 5];
+    let mut dip_times = Vec::new();
     for iteration in trace.replay(2) {
         let request = PlanRequest::new(iteration.batch.workloads());
         let avg_images = iteration.batch.avg_images_per_microbatch();
@@ -73,6 +76,16 @@ fn main() {
         let optimus = simulate_optimus(&ctx, batches).unwrap().metrics;
         let (no_opt_plan, no_opt) = dip_no_opt.plan_and_simulate(&request).unwrap();
         let (full_plan, full) = dip.plan_and_simulate(&request).unwrap();
+        for (sum, value) in sums.iter_mut().zip([
+            megatron.iteration_time_s,
+            nnscaler.iteration_time_s,
+            optimus.iteration_time_s,
+            no_opt.metrics.iteration_time_s,
+            full.metrics.iteration_time_s,
+        ]) {
+            *sum += value;
+        }
+        dip_times.push(full.metrics.iteration_time_s);
         rows.push(vec![
             iteration.iteration.to_string(),
             format!("{avg_images:.1}"),
@@ -110,7 +123,55 @@ fn main() {
     println!("Expected shape (paper): DIP lowest throughout; Megatron-LM degrades most when image counts peak; nnScaler* degrades when they vanish.");
     println!("Expected shape (session layer): pass 2 (iterations 20+) hits the plan cache — identical iteration times at (near-)zero planning cost.");
 
-    batch_planning_scaling(&spec, parallel, &cluster, &trace, &representative);
+    let iterations = rows.len() as f64;
+    for (name, sum) in ["megatron", "nnscaler", "optimus", "dip_no_opt", "dip"]
+        .iter()
+        .zip(sums)
+    {
+        report.push(
+            format!("envelope.{name}.mean_iteration_s"),
+            MetricKind::SimTime,
+            "s",
+            sum / iterations,
+        );
+    }
+    // Pass 2 replays pass 1's workload signatures: with the deterministic
+    // planner the cache must serve bit-identical iteration times.
+    let (pass1, pass2) = dip_times.split_at(dip_times.len() / 2);
+    let replay_identical = pass1
+        .iter()
+        .zip(pass2)
+        .all(|(a, b)| a.to_bits() == b.to_bits());
+    report.push_flag("envelope.cache_replay_identical", replay_identical);
+    let stats = dip.stats();
+    report.push(
+        "envelope.dip.cache_hits",
+        MetricKind::Determinism,
+        "count",
+        stats.cache_hits as f64,
+    );
+    report.push(
+        "envelope.dip.cache_misses",
+        MetricKind::Determinism,
+        "count",
+        stats.cache_misses as f64,
+    );
+    report.push(
+        "envelope.dip.planning_wall_s",
+        MetricKind::Info,
+        "s",
+        stats.planning_time.as_secs_f64(),
+    );
+
+    batch_planning_scaling(
+        &spec,
+        parallel,
+        &cluster,
+        &trace,
+        &representative,
+        &mut report,
+    );
+    report.write_if_requested();
 }
 
 /// Parallel-engine scaling on the recorded pass: `plan_many` plans all 20
@@ -123,6 +184,7 @@ fn batch_planning_scaling(
     cluster: &ClusterSpec,
     trace: &dip_data::WorkloadTrace,
     representative: &dip_models::BatchWorkload,
+    report: &mut BenchReport,
 ) {
     use dip_bench::fmt_ratio;
     use std::time::{Duration, Instant};
@@ -159,6 +221,18 @@ fn batch_planning_scaling(
             fmt_ratio(single / wall),
             planned.to_string(),
         ]);
+        report.push(
+            format!("pool.t{threads}.wall_s"),
+            MetricKind::Info,
+            "s",
+            wall,
+        );
+        report.push(
+            format!("pool.t{threads}.plans"),
+            MetricKind::Determinism,
+            "count",
+            planned as f64,
+        );
     }
     print_table(
         "Fig. 8b (engine) — batch-planning wall clock vs. plan_many pool width (one recorded pass)",

@@ -1,0 +1,449 @@
+//! A minimal JSON value, writer and parser for the bench harness.
+//!
+//! The build environment vendors a no-op `serde` stand-in (no network, no
+//! `serde_json`), so the machine-readable bench output is produced and
+//! consumed by this self-contained module instead. It covers exactly what
+//! the harness needs — objects, arrays, strings, finite numbers and bools —
+//! and guarantees **lossless `f64` round-trips**: numbers are written with
+//! Rust's shortest-round-trip formatting and parsed back with
+//! `str::parse::<f64>`, so a determinism gate can compare values bit for
+//! bit across machines.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// A JSON value. Object keys keep their insertion order so emitted files
+/// diff cleanly run to run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A finite number (non-finite `f64`s are written as `null`).
+    Number(f64),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<JsonValue>),
+    /// An object, in insertion order.
+    Object(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Member lookup on an object; `None` on any other variant.
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Object(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The numeric value, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Number(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// The string value, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_array(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The members as a map, if this is an object (drops duplicate keys,
+    /// last wins — the writer never emits duplicates).
+    pub fn as_map(&self) -> Option<BTreeMap<&str, &JsonValue>> {
+        match self {
+            JsonValue::Object(members) => Some(
+                members
+                    .iter()
+                    .map(|(k, v)| (k.as_str(), v))
+                    .collect::<BTreeMap<_, _>>(),
+            ),
+            _ => None,
+        }
+    }
+
+    /// Serialises the value as pretty-printed JSON (2-space indent).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: usize) {
+        let pad = "  ".repeat(indent + 1);
+        let close_pad = "  ".repeat(indent);
+        match self {
+            JsonValue::Null => out.push_str("null"),
+            JsonValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            JsonValue::Number(x) => {
+                if x.is_finite() {
+                    // Rust's shortest-round-trip float formatting: parsing
+                    // the string back yields the identical bits.
+                    let _ = write!(out, "{x}");
+                } else {
+                    out.push_str("null");
+                }
+            }
+            JsonValue::String(s) => write_escaped(out, s),
+            JsonValue::Array(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push_str("[\n");
+                for (i, item) in items.iter().enumerate() {
+                    out.push_str(&pad);
+                    item.write(out, indent + 1);
+                    if i + 1 < items.len() {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                }
+                out.push_str(&close_pad);
+                out.push(']');
+            }
+            JsonValue::Object(members) => {
+                if members.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push_str("{\n");
+                for (i, (key, value)) in members.iter().enumerate() {
+                    out.push_str(&pad);
+                    write_escaped(out, key);
+                    out.push_str(": ");
+                    value.write(out, indent + 1);
+                    if i + 1 < members.len() {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                }
+                out.push_str(&close_pad);
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// A parse failure, with a byte offset into the input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// Byte offset of the failure.
+    pub offset: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for JsonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "JSON parse error at byte {}: {}",
+            self.offset, self.message
+        )
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+/// Parses a JSON document.
+///
+/// # Errors
+///
+/// Returns a [`JsonError`] (with byte offset) on malformed input or
+/// trailing garbage.
+pub fn parse(input: &str) -> Result<JsonValue, JsonError> {
+    let mut parser = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    parser.skip_ws();
+    let value = parser.value()?;
+    parser.skip_ws();
+    if parser.pos != parser.bytes.len() {
+        return Err(parser.error("trailing characters after the document"));
+    }
+    Ok(value)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn error(&self, message: impl Into<String>) -> JsonError {
+        JsonError {
+            offset: self.pos,
+            message: message.into(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.error(format!("expected '{}'", byte as char)))
+        }
+    }
+
+    fn literal(&mut self, text: &str, value: JsonValue) -> Result<JsonValue, JsonError> {
+        if self.bytes[self.pos..].starts_with(text.as_bytes()) {
+            self.pos += text.len();
+            Ok(value)
+        } else {
+            Err(self.error(format!("expected '{text}'")))
+        }
+    }
+
+    fn value(&mut self) -> Result<JsonValue, JsonError> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(JsonValue::String(self.string()?)),
+            Some(b't') => self.literal("true", JsonValue::Bool(true)),
+            Some(b'f') => self.literal("false", JsonValue::Bool(false)),
+            Some(b'n') => self.literal("null", JsonValue::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            _ => Err(self.error("expected a JSON value")),
+        }
+    }
+
+    fn object(&mut self) -> Result<JsonValue, JsonError> {
+        self.expect(b'{')?;
+        let mut members = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(JsonValue::Object(members));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            members.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Object(members));
+                }
+                _ => return Err(self.error("expected ',' or '}' in object")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<JsonValue, JsonError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(JsonValue::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Array(items));
+                }
+                _ => return Err(self.error("expected ',' or ']' in array")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.error("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{0008}'),
+                        Some(b'f') => out.push('\u{000c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .ok_or_else(|| self.error("truncated \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| self.error("invalid \\u escape"))?;
+                            // Surrogate pairs are not needed by the harness;
+                            // map them to the replacement character.
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            self.pos += 4;
+                        }
+                        _ => return Err(self.error("invalid escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 character (input is a &str, so the
+                    // byte slice is valid UTF-8).
+                    let rest = &self.bytes[self.pos..];
+                    let s = unsafe { std::str::from_utf8_unchecked(rest) };
+                    let c = s.chars().next().expect("non-empty remainder");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<JsonValue, JsonError> {
+        let start = self.pos;
+        while matches!(
+            self.peek(),
+            Some(b'-' | b'+' | b'.' | b'e' | b'E') | Some(b'0'..=b'9')
+        ) {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.error("invalid number"))?;
+        text.parse::<f64>()
+            .map(JsonValue::Number)
+            .map_err(|_| self.error(format!("invalid number '{text}'")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrips_a_nested_document() {
+        let doc = JsonValue::Object(vec![
+            ("bench".into(), JsonValue::String("fig12".into())),
+            ("ok".into(), JsonValue::Bool(true)),
+            ("nothing".into(), JsonValue::Null),
+            (
+                "metrics".into(),
+                JsonValue::Array(vec![
+                    JsonValue::Number(0.125),
+                    JsonValue::Number(-3.0),
+                    JsonValue::Number(1e-9),
+                ]),
+            ),
+            (
+                "nested".into(),
+                JsonValue::Object(vec![("empty".into(), JsonValue::Array(vec![]))]),
+            ),
+        ]);
+        let text = doc.to_json();
+        let parsed = parse(&text).unwrap();
+        assert_eq!(parsed, doc);
+    }
+
+    #[test]
+    fn floats_roundtrip_bit_exactly() {
+        // Values with no short decimal representation must survive the
+        // write → parse cycle bit for bit (the determinism gate depends on
+        // this).
+        for &x in &[
+            0.1 + 0.2,
+            1.0 / 3.0,
+            std::f64::consts::PI,
+            6.02214076e23,
+            5e-324, // smallest subnormal
+            f64::MAX,
+            -0.0,
+        ] {
+            let text = JsonValue::Number(x).to_json();
+            let back = parse(&text).unwrap().as_f64().unwrap();
+            assert_eq!(back.to_bits(), x.to_bits(), "{x} via {text:?}");
+        }
+    }
+
+    #[test]
+    fn strings_escape_and_unescape() {
+        let s = "a \"quoted\"\nline\twith \\ and unicode: Δt≤ε\u{0001}";
+        let text = JsonValue::String(s.into()).to_json();
+        assert_eq!(parse(&text).unwrap().as_str().unwrap(), s);
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for bad in [
+            "", "{", "[1,]", "{\"a\":}", "tru", "1.2.3", "{} extra", "\"open",
+        ] {
+            assert!(parse(bad).is_err(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn accessors_select_the_right_variants() {
+        let doc = parse(r#"{"a": 1.5, "b": [true, null], "c": "x"}"#).unwrap();
+        assert_eq!(doc.get("a").unwrap().as_f64(), Some(1.5));
+        assert_eq!(doc.get("c").unwrap().as_str(), Some("x"));
+        assert_eq!(doc.get("b").unwrap().as_array().unwrap().len(), 2);
+        assert_eq!(doc.get("missing"), None);
+        assert!(doc.as_map().unwrap().contains_key("a"));
+        assert_eq!(doc.get("a").unwrap().get("nested"), None);
+    }
+}

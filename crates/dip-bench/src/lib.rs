@@ -10,6 +10,9 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod json;
+
+use crate::json::JsonValue;
 use dip_core::{PlanRequest, PlannerConfig, PlanningSession};
 use dip_data::{BatchGenerator, DatasetMix};
 use dip_models::{BatchWorkload, LmmSpec, Modality, ModalityWorkload};
@@ -18,6 +21,7 @@ use dip_pipeline::baselines::{
 };
 use dip_pipeline::ParallelConfig;
 use dip_sim::{ClusterSpec, IterationMetrics};
+use serde::{Deserialize, Serialize};
 use std::time::Duration;
 
 /// Scaling of the experiments: `quick` finishes in seconds, `full`
@@ -40,8 +44,8 @@ impl ExperimentScale {
     /// can be overridden independently with `DIP_BENCH_WORKERS`, which the
     /// CI smoke job uses to exercise the parallel planning path.
     pub fn from_env() -> Self {
-        let mut scale = match std::env::var("DIP_BENCH_SCALE").as_deref() {
-            Ok("full") => Self {
+        let mut scale = match Self::name_from_env() {
+            "full" => Self {
                 microbatches: 32,
                 iterations: 10,
                 search_ms: 2_000,
@@ -61,6 +65,17 @@ impl ExperimentScale {
             scale.workers = workers.max(1);
         }
         scale
+    }
+
+    /// The canonical name of the scale selected by `DIP_BENCH_SCALE` —
+    /// the single parser behind both [`ExperimentScale::from_env`] and
+    /// [`BenchReport::from_env`], so the report's `scale` label can never
+    /// drift from the scale the run actually used.
+    pub fn name_from_env() -> &'static str {
+        match std::env::var("DIP_BENCH_SCALE").as_deref() {
+            Ok("full") => "full",
+            _ => "quick",
+        }
     }
 
     /// The planner configuration matching this scale.
@@ -152,6 +167,220 @@ pub fn run_all_systems(
     results
 }
 
+/// How the CI regression gate treats a metric when comparing a bench run
+/// against the committed baseline (see the `bench_check` binary).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MetricKind {
+    /// A simulated time (or other simulated quantity where lower is
+    /// better): the gate fails when the current value regresses more than
+    /// the tolerance (15%) over the baseline. Improvements always pass.
+    SimTime,
+    /// A determinism witness (plan-identity flags, evaluation counts,
+    /// cache hit totals): fixed-seed runs must reproduce the baseline
+    /// **bit for bit on any machine** — the gate fails on any mismatch.
+    Determinism,
+    /// Wall-clock timings and other machine-dependent observations:
+    /// recorded for the artifact, never compared.
+    Info,
+}
+
+impl MetricKind {
+    fn as_str(self) -> &'static str {
+        match self {
+            MetricKind::SimTime => "sim_time",
+            MetricKind::Determinism => "determinism",
+            MetricKind::Info => "info",
+        }
+    }
+
+    fn from_str(s: &str) -> Option<Self> {
+        match s {
+            "sim_time" => Some(MetricKind::SimTime),
+            "determinism" => Some(MetricKind::Determinism),
+            "info" => Some(MetricKind::Info),
+            _ => None,
+        }
+    }
+}
+
+/// One machine-readable measurement of a bench run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenchMetric {
+    /// Dotted metric path, e.g. `scaling.w4.iteration_s`.
+    pub name: String,
+    /// How the CI gate compares the metric against the baseline.
+    pub kind: MetricKind,
+    /// Unit label (`s`, `ratio`, `count`, `bool`), for human readers of
+    /// the artifact.
+    pub unit: String,
+    /// The measured value. Booleans are encoded as `0.0` / `1.0`.
+    pub value: f64,
+}
+
+/// The machine-readable output of one bench binary run — the shared schema
+/// every `fig*` binary emits under `DIP_BENCH_JSON` and the `bench_check`
+/// gate consumes. Human tables keep printing to stdout; this is the file
+/// CI diffs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenchReport {
+    /// The bench binary's stable name (e.g. `fig12_scalability`).
+    pub bench: String,
+    /// The experiment scale the run used (`quick` or `full`) — reports are
+    /// only comparable at equal scale.
+    pub scale: String,
+    /// The measurements, in emission order.
+    pub metrics: Vec<BenchMetric>,
+}
+
+impl BenchReport {
+    /// An empty report for `bench` at the scale selected by
+    /// `DIP_BENCH_SCALE` (the same parser as [`ExperimentScale::from_env`]).
+    pub fn from_env(bench: impl Into<String>) -> Self {
+        Self {
+            bench: bench.into(),
+            scale: ExperimentScale::name_from_env().into(),
+            metrics: Vec::new(),
+        }
+    }
+
+    /// Appends a measurement.
+    pub fn push(
+        &mut self,
+        name: impl Into<String>,
+        kind: MetricKind,
+        unit: impl Into<String>,
+        value: f64,
+    ) {
+        self.metrics.push(BenchMetric {
+            name: name.into(),
+            kind,
+            unit: unit.into(),
+            value,
+        });
+    }
+
+    /// Appends a boolean determinism witness (encoded 0/1).
+    pub fn push_flag(&mut self, name: impl Into<String>, value: bool) {
+        self.push(name, MetricKind::Determinism, "bool", f64::from(value));
+    }
+
+    /// Looks up a metric by name.
+    pub fn metric(&self, name: &str) -> Option<&BenchMetric> {
+        self.metrics.iter().find(|m| m.name == name)
+    }
+
+    /// Serialises the report as JSON.
+    pub fn to_json(&self) -> String {
+        self.to_json_value().to_json()
+    }
+
+    /// The report as a [`JsonValue`] (used by `bench_check` to assemble
+    /// baseline arrays).
+    pub fn to_json_value(&self) -> JsonValue {
+        JsonValue::Object(vec![
+            ("bench".into(), JsonValue::String(self.bench.clone())),
+            ("scale".into(), JsonValue::String(self.scale.clone())),
+            (
+                "metrics".into(),
+                JsonValue::Array(
+                    self.metrics
+                        .iter()
+                        .map(|m| {
+                            JsonValue::Object(vec![
+                                ("name".into(), JsonValue::String(m.name.clone())),
+                                ("kind".into(), JsonValue::String(m.kind.as_str().into())),
+                                ("unit".into(), JsonValue::String(m.unit.clone())),
+                                ("value".into(), JsonValue::Number(m.value)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Deserialises one report from a [`JsonValue`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first missing or mistyped field.
+    pub fn from_json_value(value: &JsonValue) -> Result<Self, String> {
+        let bench = value
+            .get("bench")
+            .and_then(JsonValue::as_str)
+            .ok_or("missing string field 'bench'")?
+            .to_string();
+        let scale = value
+            .get("scale")
+            .and_then(JsonValue::as_str)
+            .ok_or("missing string field 'scale'")?
+            .to_string();
+        let metrics = value
+            .get("metrics")
+            .and_then(JsonValue::as_array)
+            .ok_or("missing array field 'metrics'")?
+            .iter()
+            .map(|m| -> Result<BenchMetric, String> {
+                Ok(BenchMetric {
+                    name: m
+                        .get("name")
+                        .and_then(JsonValue::as_str)
+                        .ok_or("metric missing 'name'")?
+                        .to_string(),
+                    kind: m
+                        .get("kind")
+                        .and_then(JsonValue::as_str)
+                        .and_then(MetricKind::from_str)
+                        .ok_or("metric missing a valid 'kind'")?,
+                    unit: m
+                        .get("unit")
+                        .and_then(JsonValue::as_str)
+                        .unwrap_or_default()
+                        .to_string(),
+                    value: m
+                        .get("value")
+                        .and_then(JsonValue::as_f64)
+                        .ok_or("metric missing numeric 'value'")?,
+                })
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Self {
+            bench,
+            scale,
+            metrics,
+        })
+    }
+
+    /// Parses one report from JSON text.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the parse or schema failure.
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        let value = json::parse(text).map_err(|e| e.to_string())?;
+        Self::from_json_value(&value)
+    }
+
+    /// Writes the report to the path named by the `DIP_BENCH_JSON`
+    /// environment variable, if set — the machine-readable side channel of
+    /// every bench binary. A missing variable is a no-op (human tables
+    /// only); a set-but-unwritable path is a hard error so CI never
+    /// silently skips the gate's input.
+    pub fn write_if_requested(&self) {
+        if let Ok(path) = std::env::var("DIP_BENCH_JSON") {
+            if path.is_empty() {
+                return;
+            }
+            std::fs::write(&path, self.to_json())
+                .unwrap_or_else(|e| panic!("DIP_BENCH_JSON: cannot write {path}: {e}"));
+            println!(
+                "[bench-json] wrote {} metrics to {path}",
+                self.metrics.len()
+            );
+        }
+    }
+}
+
 /// Prints a GitHub-flavoured markdown table.
 pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
     println!("\n## {title}\n");
@@ -200,6 +429,54 @@ mod tests {
     fn dataset_batches_are_produced() {
         assert_eq!(vlm_batches_from_datasets(4, 1).len(), 4);
         assert_eq!(t2v_batches_from_datasets(4, 1).len(), 4);
+    }
+
+    #[test]
+    fn bench_reports_roundtrip_through_json() {
+        let mut report = BenchReport {
+            bench: "fig12_scalability".into(),
+            scale: "quick".into(),
+            metrics: Vec::new(),
+        };
+        report.push(
+            "scaling.w4.iteration_s",
+            MetricKind::SimTime,
+            "s",
+            0.1 + 0.2,
+        );
+        report.push(
+            "scaling.w4.evaluations",
+            MetricKind::Determinism,
+            "count",
+            2048.0,
+        );
+        report.push("scaling.w4.wall_s", MetricKind::Info, "s", 1.5);
+        report.push_flag("scaling.cross_worker_identical", true);
+
+        let text = report.to_json();
+        let parsed = BenchReport::from_json(&text).expect("roundtrip parses");
+        assert_eq!(parsed, report);
+        // Bit-exact value survival is what the determinism gate relies on.
+        assert_eq!(
+            parsed
+                .metric("scaling.w4.iteration_s")
+                .unwrap()
+                .value
+                .to_bits(),
+            (0.1 + 0.2f64).to_bits()
+        );
+        assert_eq!(
+            parsed
+                .metric("scaling.cross_worker_identical")
+                .unwrap()
+                .value,
+            1.0
+        );
+        assert!(parsed.metric("missing").is_none());
+
+        // Schema errors are reported, not panicked.
+        assert!(BenchReport::from_json("{\"bench\": 3}").is_err());
+        assert!(BenchReport::from_json("not json").is_err());
     }
 
     #[test]

@@ -45,6 +45,17 @@ pub enum DipError {
     /// request (the panic is confined to that request's slot) or otherwise
     /// terminated without reporting a result.
     Concurrency(String),
+    /// An internal accounting invariant of the planning stack was violated
+    /// — e.g. the simulation engine produced a report whose busy time
+    /// exceeds the makespan. This is a bug in the stack, never in the
+    /// caller's request; it is returned (in every build profile) instead of
+    /// being a `debug_assert!` that release builds compile away.
+    Internal {
+        /// Which planning phase hit the violation.
+        context: String,
+        /// Description of the violated invariant.
+        message: String,
+    },
 }
 
 impl DipError {
@@ -82,12 +93,21 @@ impl DipError {
         DipError::Concurrency(message.into())
     }
 
+    /// An internal invariant violation with planning context.
+    pub fn internal(context: impl Into<String>, message: impl Into<String>) -> Self {
+        DipError::Internal {
+            context: context.into(),
+            message: message.into(),
+        }
+    }
+
     /// The planning phase the error is attributed to, if any.
     pub fn context(&self) -> Option<&str> {
         match self {
             DipError::Model { context, .. }
             | DipError::Pipeline { context, .. }
-            | DipError::Solver { context, .. } => Some(context),
+            | DipError::Solver { context, .. }
+            | DipError::Internal { context, .. } => Some(context),
             DipError::InvalidRequest(_) | DipError::Concurrency(_) => None,
         }
     }
@@ -107,6 +127,9 @@ impl fmt::Display for DipError {
             }
             DipError::InvalidRequest(message) => write!(f, "invalid plan request: {message}"),
             DipError::Concurrency(message) => write!(f, "parallel planning failed: {message}"),
+            DipError::Internal { context, message } => {
+                write!(f, "{context}: internal invariant violated: {message}")
+            }
         }
     }
 }
@@ -116,9 +139,10 @@ impl Error for DipError {
         match self {
             DipError::Model { source, .. } => Some(source),
             DipError::Pipeline { source, .. } => Some(source),
-            DipError::Solver { .. } | DipError::InvalidRequest(_) | DipError::Concurrency(_) => {
-                None
-            }
+            DipError::Solver { .. }
+            | DipError::InvalidRequest(_)
+            | DipError::Concurrency(_)
+            | DipError::Internal { .. } => None,
         }
     }
 }
@@ -143,7 +167,13 @@ pub(crate) trait ResultExt<T> {
 
 impl<T> ResultExt<T> for Result<T, PipelineError> {
     fn planning_context(self, context: &str) -> Result<T, DipError> {
-        self.map_err(|e| DipError::pipeline(context, e))
+        self.map_err(|e| match e {
+            // Internal invariant violations are bugs in the stack, not a
+            // property of the caller's pipeline configuration — keep them
+            // distinguishable at the planner's public boundary.
+            PipelineError::Internal(message) => DipError::internal(context, message),
+            other => DipError::pipeline(context, other),
+        })
     }
 }
 
@@ -194,6 +224,21 @@ mod tests {
         assert!(err.to_string().contains("parallel planning failed"));
         assert_eq!(err.context(), None);
         assert!(err.source().is_none());
+    }
+
+    #[test]
+    fn internal_errors_carry_context_and_format() {
+        let err = DipError::internal("simulating plan deployment", "busy time exceeds makespan");
+        assert_eq!(err.context(), Some("simulating plan deployment"));
+        assert!(err.to_string().contains("internal invariant violated"));
+        assert!(err.to_string().contains("busy time exceeds makespan"));
+        assert!(err.source().is_none());
+
+        // The pipeline-level internal variant converts through the context
+        // extension, staying distinguishable from ordinary pipeline errors.
+        let converted: Result<(), DipError> =
+            Err(PipelineError::Internal("bad accounting".into())).planning_context("simulating");
+        assert!(matches!(converted, Err(DipError::Internal { .. })));
     }
 
     #[test]

@@ -68,16 +68,17 @@ pub mod error;
 pub mod memopt;
 pub mod monolithic;
 pub mod ordering;
+mod par;
 pub mod partitioner;
 pub mod planner;
 pub mod session;
 
 pub use error::DipError;
-pub use memopt::{optimize_memory, MemoryOptConfig};
+pub use memopt::{optimize_memory, optimize_memory_detailed, MemoryOptConfig, MemoryOptOutcome};
 pub use monolithic::{monolithic_ilp_search, MonolithicResult};
 pub use ordering::{
-    ordering_from_priorities, search_ordering, OrderingResult, OrderingSearchConfig,
-    SearchProgressPoint, SearchStrategy,
+    calibrate_eval_cost, ordering_from_priorities, search_ordering, OrderingResult,
+    OrderingSearchConfig, SearchProgressPoint, SearchStrategy,
 };
 pub use partitioner::{ModalityAwarePartitioner, PartitionerConfig, PartitionerOutput};
 pub use planner::{DipPlan, DipPlanner, PlannerConfig, PlannerStats};

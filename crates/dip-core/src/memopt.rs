@@ -7,14 +7,27 @@
 //! point of the rank's schedule stays within budget. The per-rank problem is
 //! a group-choice ILP solved with a greedy warm start and a 5% optimality
 //! gap, exactly as the paper describes.
+//!
+//! # Parallel, deterministic solves
+//!
+//! The per-rank subproblems share no state, so
+//! [`optimize_memory_detailed`] dispatches them across a scoped thread
+//! pool (the caller passes the thread budget — the planner forwards its
+//! per-plan CPU share so `plan_many` concurrency never multiplies) and
+//! merges the per-rank selections **in rank order**, exactly as the serial
+//! loop would have applied them. Each solve is bounded by a deterministic
+//! branch-and-bound *node* budget derived from the configured (virtual)
+//! time limit via the calibrated per-node cost model — never by a wall
+//! clock — so the parallel path is byte-identical to the serial path, on
+//! any machine, at any thread count.
 
 use crate::error::DipError;
 use dip_pipeline::{Direction, MemoryPlan, MemoryStrategy, RankOrders, StageGraph};
-use dip_sim::StageTiming;
+use dip_sim::{CostModel, StageTiming};
 use dip_solver::{Candidate, GroupChoiceProblem, SolveOptions};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Configuration of the memory optimiser.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -23,8 +36,15 @@ pub struct MemoryOptConfig {
     pub candidates_per_pair: usize,
     /// Relative optimality gap allowed for early termination.
     pub optimality_gap: f64,
-    /// Wall-clock limit per pipeline rank.
+    /// **Virtual-time** limit per pipeline rank: converted into a
+    /// deterministic branch-and-bound node budget via [`Self::node_cost`],
+    /// so the per-rank solve returns the same selection on any machine
+    /// (a wall clock never stops it).
     pub time_limit: Duration,
+    /// Calibrated cost model of one branch-and-bound node, per constraint
+    /// group — the virtual clock rate that converts [`Self::time_limit`]
+    /// into a node budget.
+    pub node_cost: CostModel,
 }
 
 impl Default for MemoryOptConfig {
@@ -33,12 +53,36 @@ impl Default for MemoryOptConfig {
             candidates_per_pair: 10,
             optimality_gap: 0.05,
             time_limit: Duration::from_millis(100),
+            node_cost: CostModel::REFERENCE_ILP_NODE,
         }
     }
 }
 
+impl MemoryOptConfig {
+    /// The deterministic branch-and-bound node budget for one rank's ILP
+    /// with `groups` stage pairs: the virtual time limit divided by the
+    /// calibrated per-node cost.
+    pub fn node_budget(&self, groups: usize) -> u64 {
+        self.node_cost.quota(self.time_limit, groups as u64)
+    }
+}
+
+/// The outcome of a (possibly parallel) memory-optimisation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MemoryOptOutcome {
+    /// The chosen per-stage-pair strategies.
+    pub plan: MemoryPlan,
+    /// Wall time each rank's subproblem took to solve, in rank order.
+    pub rank_cpu: Vec<Duration>,
+    /// Summed per-rank solve wall time (the sum of `rank_cpu`; equals CPU
+    /// time on unloaded cores). Compared with the caller's wall-clock
+    /// measurement this exposes the parallel speedup of the phase.
+    pub cpu_time: Duration,
+}
+
 /// Runs per-rank memory optimisation over a stage graph and a fixed
-/// interleaving, returning the chosen [`MemoryPlan`].
+/// interleaving, returning the chosen [`MemoryPlan`]. Serial convenience
+/// wrapper around [`optimize_memory_detailed`] (one thread).
 ///
 /// `capacity_per_rank` is the activation-memory budget of each rank (GPU
 /// memory minus the static parameter/optimizer footprint). Ranks whose
@@ -56,6 +100,33 @@ pub fn optimize_memory(
     capacity_per_rank: &[u64],
     config: &MemoryOptConfig,
 ) -> Result<MemoryPlan, DipError> {
+    optimize_memory_detailed(graph, orders, capacity_per_rank, config, 1).map(|o| o.plan)
+}
+
+/// The selections one rank's subproblem contributes to the merged plan.
+type RankSelections = Vec<(usize, MemoryStrategy)>;
+
+/// Like [`optimize_memory`], but dispatches the independent per-rank ILP
+/// subproblems across up to `threads` scoped worker threads and reports
+/// the per-rank CPU split. The per-rank selections are merged in rank
+/// order — exactly the order the serial loop applies them — and every
+/// solve is node-budgeted rather than clocked, so the result is
+/// **byte-identical to the serial path** at any thread count.
+///
+/// `threads` is this plan's CPU budget for the phase; the planner passes
+/// its per-plan search parallelism so a `plan_many` pool of `P` plans
+/// never exceeds `P × threads` total CPU threads.
+///
+/// # Errors
+///
+/// Returns [`DipError::Solver`] when `candidates_per_pair == 0`.
+pub fn optimize_memory_detailed(
+    graph: &StageGraph,
+    orders: &RankOrders,
+    capacity_per_rank: &[u64],
+    config: &MemoryOptConfig,
+    threads: usize,
+) -> Result<MemoryOptOutcome, DipError> {
     if config.candidates_per_pair == 0 {
         return Err(DipError::solver(
             "memory optimisation",
@@ -63,112 +134,164 @@ pub fn optimize_memory(
         ));
     }
     let ladder = MemoryStrategy::ladder(config.candidates_per_pair);
+    let num_ranks = orders.orders.len();
+
+    // The shared work-stealing fork-join helper: rank → thread assignment
+    // cannot influence the per-rank results, which are pure functions of
+    // the rank index.
+    let per_rank: Vec<(RankSelections, Duration)> =
+        crate::par::parallel_map_indexed(num_ranks, threads, |rank| {
+            let start = Instant::now();
+            let selections = solve_rank(
+                graph,
+                &orders.orders[rank],
+                capacity_per_rank,
+                rank,
+                config,
+                &ladder,
+            );
+            (selections, start.elapsed())
+        });
+
+    // Deterministic merge: apply each rank's selections in rank order —
+    // the exact order the serial loop would have written them, so the
+    // parallel path produces a byte-identical plan.
     let mut plan = MemoryPlan::new();
-
-    for (rank, order) in orders.orders.iter().enumerate() {
-        let capacity = capacity_per_rank.get(rank).copied().unwrap_or(u64::MAX);
-
-        // Collect the stage pairs on this rank with their alive intervals
-        // (positions of the forward and backward stage in the rank's order).
-        #[derive(Debug)]
-        struct PairInfo {
-            stage_pair: usize,
-            base: StageTiming,
-            fwd_pos: usize,
-            bwd_pos: usize,
+    let mut rank_cpu = Vec::with_capacity(num_ranks);
+    let mut cpu_time = Duration::ZERO;
+    for (selections, cpu) in per_rank {
+        for (stage_pair, strategy) in selections {
+            plan.set(stage_pair, strategy);
         }
-        // (forward position, backward position, accumulated base timing).
-        type PendingPair = (Option<usize>, Option<usize>, Option<StageTiming>);
-        let mut pairs: BTreeMap<usize, PendingPair> = BTreeMap::new();
-        for (pos, id) in order.iter().enumerate() {
-            let item = graph.item(*id);
-            let entry = pairs.entry(item.stage_pair).or_insert((None, None, None));
-            match item.direction {
-                Direction::Forward => {
-                    entry.0 = Some(pos);
-                    let timing = entry.2.get_or_insert(StageTiming::default());
-                    timing.fwd_s = item.duration;
-                    timing.activation_bytes = item.activation_bytes;
-                    timing.p2p_bytes = item.p2p_bytes;
-                }
-                Direction::Backward => {
-                    entry.1 = Some(pos);
-                    let timing = entry.2.get_or_insert(StageTiming::default());
-                    timing.bwd_s = item.duration;
-                    timing.activation_bytes = item.activation_bytes;
-                }
+        cpu_time += cpu;
+        rank_cpu.push(cpu);
+    }
+    Ok(MemoryOptOutcome {
+        plan,
+        rank_cpu,
+        cpu_time,
+    })
+}
+
+/// Solves one rank's group-choice ILP, returning the chosen strategy per
+/// stage pair hosted on the rank (empty when the rank hosts no complete
+/// pair). Pure function of its inputs: no clock consulted, no shared
+/// state touched — which is what lets ranks solve concurrently yet
+/// reproducibly.
+fn solve_rank(
+    graph: &StageGraph,
+    order: &[dip_pipeline::StageId],
+    capacity_per_rank: &[u64],
+    rank: usize,
+    config: &MemoryOptConfig,
+    ladder: &[MemoryStrategy],
+) -> RankSelections {
+    let capacity = capacity_per_rank.get(rank).copied().unwrap_or(u64::MAX);
+
+    // Collect the stage pairs on this rank with their alive intervals
+    // (positions of the forward and backward stage in the rank's order).
+    #[derive(Debug)]
+    struct PairInfo {
+        stage_pair: usize,
+        base: StageTiming,
+        fwd_pos: usize,
+        bwd_pos: usize,
+    }
+    // (forward position, backward position, accumulated base timing).
+    type PendingPair = (Option<usize>, Option<usize>, Option<StageTiming>);
+    let mut pairs: BTreeMap<usize, PendingPair> = BTreeMap::new();
+    for (pos, id) in order.iter().enumerate() {
+        let item = graph.item(*id);
+        let entry = pairs.entry(item.stage_pair).or_insert((None, None, None));
+        match item.direction {
+            Direction::Forward => {
+                entry.0 = Some(pos);
+                let timing = entry.2.get_or_insert(StageTiming::default());
+                timing.fwd_s = item.duration;
+                timing.activation_bytes = item.activation_bytes;
+                timing.p2p_bytes = item.p2p_bytes;
             }
-        }
-        let infos: Vec<PairInfo> = pairs
-            .into_iter()
-            .filter_map(|(stage_pair, (f, b, t))| {
-                Some(PairInfo {
-                    stage_pair,
-                    base: t?,
-                    fwd_pos: f?,
-                    bwd_pos: b?,
-                })
-            })
-            .collect();
-        if infos.is_empty() {
-            continue;
-        }
-
-        // Candidate timings per pair.
-        let candidate_timings: Vec<Vec<StageTiming>> = infos
-            .iter()
-            .map(|info| ladder.iter().map(|s| s.apply(&info.base)).collect())
-            .collect();
-
-        // One memory constraint per pair, anchored at its forward position:
-        // every pair alive at that position contributes its resident bytes.
-        let capacities = vec![capacity as f64; infos.len()];
-        let mut problem = GroupChoiceProblem::new(capacities);
-        for (i, info) in infos.iter().enumerate() {
-            let candidates: Vec<Candidate> = candidate_timings[i]
-                .iter()
-                .map(|t| {
-                    let weights: Vec<f64> = infos
-                        .iter()
-                        .map(|anchor| {
-                            let k = anchor.fwd_pos;
-                            if info.fwd_pos <= k && k <= info.bwd_pos {
-                                t.activation_bytes as f64
-                            } else {
-                                0.0
-                            }
-                        })
-                        .collect();
-                    Candidate::new(t.fwd_s + t.bwd_s, weights)
-                })
-                .collect();
-            problem.add_group(candidates);
-        }
-
-        let solution = dip_solver::ilp::solve(
-            &problem,
-            &SolveOptions {
-                time_limit: config.time_limit,
-                optimality_gap: config.optimality_gap,
-                warm_start: true,
-            },
-        );
-
-        if solution.is_feasible() {
-            for (i, info) in infos.iter().enumerate() {
-                let choice = solution.selection[i];
-                plan.set(info.stage_pair, ladder[choice]);
-            }
-        } else {
-            // Budget unattainable: fall back to the most aggressive strategy.
-            let most_aggressive = *ladder.last().expect("ladder is non-empty");
-            for info in &infos {
-                plan.set(info.stage_pair, most_aggressive);
+            Direction::Backward => {
+                entry.1 = Some(pos);
+                let timing = entry.2.get_or_insert(StageTiming::default());
+                timing.bwd_s = item.duration;
+                timing.activation_bytes = item.activation_bytes;
             }
         }
     }
+    let infos: Vec<PairInfo> = pairs
+        .into_iter()
+        .filter_map(|(stage_pair, (f, b, t))| {
+            Some(PairInfo {
+                stage_pair,
+                base: t?,
+                fwd_pos: f?,
+                bwd_pos: b?,
+            })
+        })
+        .collect();
+    if infos.is_empty() {
+        return Vec::new();
+    }
 
-    Ok(plan)
+    // Candidate timings per pair.
+    let candidate_timings: Vec<Vec<StageTiming>> = infos
+        .iter()
+        .map(|info| ladder.iter().map(|s| s.apply(&info.base)).collect())
+        .collect();
+
+    // One memory constraint per pair, anchored at its forward position:
+    // every pair alive at that position contributes its resident bytes.
+    let capacities = vec![capacity as f64; infos.len()];
+    let mut problem = GroupChoiceProblem::new(capacities);
+    for (i, info) in infos.iter().enumerate() {
+        let candidates: Vec<Candidate> = candidate_timings[i]
+            .iter()
+            .map(|t| {
+                let weights: Vec<f64> = infos
+                    .iter()
+                    .map(|anchor| {
+                        let k = anchor.fwd_pos;
+                        if info.fwd_pos <= k && k <= info.bwd_pos {
+                            t.activation_bytes as f64
+                        } else {
+                            0.0
+                        }
+                    })
+                    .collect();
+                Candidate::new(t.fwd_s + t.bwd_s, weights)
+            })
+            .collect();
+        problem.add_group(candidates);
+    }
+
+    let solution = dip_solver::ilp::solve(
+        &problem,
+        &SolveOptions {
+            // The node budget — not a clock — bounds the solve, keeping it
+            // deterministic on any machine; the wall-clock limit is set
+            // far beyond any realistic node budget as a pure backstop.
+            time_limit: Duration::from_secs(3600),
+            node_limit: Some(config.node_budget(infos.len())),
+            optimality_gap: config.optimality_gap,
+            warm_start: true,
+        },
+    );
+
+    if solution.is_feasible() {
+        infos
+            .iter()
+            .enumerate()
+            .map(|(i, info)| (info.stage_pair, ladder[solution.selection[i]]))
+            .collect()
+    } else {
+        // Budget unattainable: fall back to the most aggressive strategy.
+        let most_aggressive = *ladder.last().expect("ladder is non-empty");
+        infos
+            .iter()
+            .map(|info| (info.stage_pair, most_aggressive))
+            .collect()
+    }
 }
 
 /// Estimated activation peak of one rank's order under a memory plan, using
@@ -341,6 +464,62 @@ mod tests {
         .unwrap_err();
         assert!(matches!(err, crate::DipError::Solver { .. }));
         assert!(err.to_string().contains("candidates_per_pair"));
+    }
+
+    #[test]
+    fn parallel_memopt_matches_serial_byte_for_byte() {
+        let (graph, orders) = graph_and_orders(8);
+        let none_plan = MemoryPlan::new();
+        let unconstrained: Vec<u64> = orders
+            .orders
+            .iter()
+            .map(|o| estimated_peak_activation(&graph, o, &none_plan))
+            .collect();
+        // A binding budget so the ILP actually has to trade strategies.
+        let budget: Vec<u64> = unconstrained.iter().map(|p| p / 4 + 1).collect();
+        let config = MemoryOptConfig::default();
+        let serial = optimize_memory_detailed(&graph, &orders, &budget, &config, 1).unwrap();
+        for threads in [2usize, 4, 8, 64] {
+            let parallel =
+                optimize_memory_detailed(&graph, &orders, &budget, &config, threads).unwrap();
+            assert_eq!(parallel.plan, serial.plan, "{threads} threads");
+            assert_eq!(parallel.rank_cpu.len(), serial.rank_cpu.len());
+        }
+        // The wrapper returns the same plan as the detailed path.
+        assert_eq!(
+            optimize_memory(&graph, &orders, &budget, &config).unwrap(),
+            serial.plan
+        );
+        // CPU accounting covers every rank and sums consistently.
+        assert_eq!(serial.rank_cpu.len(), orders.orders.len());
+        assert_eq!(serial.rank_cpu.iter().sum::<Duration>(), serial.cpu_time);
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(6))]
+        /// The regression guarantee of the parallel decomposition: for any
+        /// workload shape and any budget tightness, the parallel path is
+        /// byte-identical to the serial one.
+        #[test]
+        fn parallel_memopt_is_identical_on_random_workloads(
+            microbatches in 2usize..7,
+            divisor in 1u64..8,
+            threads in 2usize..9,
+        ) {
+            let (graph, orders) = graph_and_orders(microbatches);
+            let none_plan = MemoryPlan::new();
+            let budget: Vec<u64> = orders
+                .orders
+                .iter()
+                .map(|o| estimated_peak_activation(&graph, o, &none_plan) / divisor + 1)
+                .collect();
+            let config = MemoryOptConfig::default();
+            let serial =
+                optimize_memory_detailed(&graph, &orders, &budget, &config, 1).unwrap();
+            let parallel =
+                optimize_memory_detailed(&graph, &orders, &budget, &config, threads).unwrap();
+            proptest::prop_assert_eq!(parallel.plan, serial.plan);
+        }
     }
 
     #[test]

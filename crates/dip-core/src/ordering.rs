@@ -10,24 +10,34 @@
 //! priority and their relative order is fixed; microbatch order is handled by
 //! the interleaver's tie-breaking.
 //!
-//! # Parallel search
+//! # Parallel search and virtual-time budgets
 //!
-//! The MCTS and random strategies run **root-parallel** on
-//! [`OrderingSearchConfig::workers`] CPU workers (§6.2): every worker owns an
-//! independent search tree, RNG stream and evaluation budget, so workers
-//! never contend on shared state while exploring. When all workers finish,
-//! their incumbents are merged by best simulated iteration time with a
-//! stable tie-break (the lowest worker index wins ties), so a fixed
-//! [`OrderingSearchConfig::seed`] yields a deterministic plan at any worker
-//! count whenever the search is bounded by
-//! [`OrderingSearchConfig::max_evaluations`] rather than wall clock. In
-//! that evaluation-bounded regime, worker 0 replays the single-worker
-//! stream with the same per-worker budget, so adding workers can only
-//! improve (never degrade) the returned ordering for a fixed seed;
-//! wall-clock-bounded searches carry no such guarantee (oversubscribed
-//! cores shrink every worker's share of the budget).
+//! The MCTS and random strategies run **root-parallel** over
+//! [`OrderingSearchConfig::streams`] independent search streams (§6.2):
+//! every stream owns its own search tree, RNG stream and evaluation quota,
+//! so streams never contend on shared state while exploring. The streams
+//! are executed by [`OrderingSearchConfig::workers`] physical CPU threads
+//! pulling from a shared queue; when all streams finish, their incumbents
+//! are merged by best simulated iteration time with a stable tie-break
+//! (the lowest stream index wins ties).
+//!
+//! Search budgets are **virtual time**, never wall clock: the
+//! [`OrderingSearchConfig::time_budget`] is converted into a deterministic
+//! per-stream evaluation quota through the calibrated per-evaluation cost
+//! model ([`OrderingSearchConfig::eval_cost`], a [`dip_sim::CostModel`]) —
+//! no worker ever consults a clock to decide whether to keep searching.
+//! Because the stream count, the RNG streams and every quota are all
+//! independent of the physical thread count and of the machine's speed, a
+//! fixed [`OrderingSearchConfig::seed`] yields a **bit-identical plan at
+//! any worker count, on any machine**: threads only change how fast the
+//! fixed work gets done. (On a machine slower than the calibrated
+//! reference the search simply takes longer than the nominal budget; on a
+//! faster one it finishes early. Re-calibrate the cost model via
+//! [`dip_sim::CostModel::fit`] to tighten the correspondence — the plan
+//! only changes if the *quota* changes, never with the machine.)
 
 use dip_pipeline::{dual_queue, DualQueueConfig, RankOrders, StageGraph};
+use dip_sim::{CostModel, CostSample};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
@@ -51,16 +61,32 @@ pub enum SearchStrategy {
 pub struct OrderingSearchConfig {
     /// Exploration strategy.
     pub strategy: SearchStrategy,
-    /// Wall-clock budget for the search (shared by all workers).
+    /// **Virtual-time** budget for the search: converted into a
+    /// deterministic per-stream evaluation quota via [`Self::eval_cost`]
+    /// (see [`OrderingSearchConfig::evaluation_quota`]). No search worker
+    /// ever consults a wall clock, so the same budget buys the same quota —
+    /// and therefore the same plan — on any machine.
     pub time_budget: Duration,
-    /// Optional cap on the number of ordering evaluations **per worker**.
-    /// Each worker stops at whichever of the two budgets is hit first; an
-    /// evaluation-bounded search is deterministic for a fixed RNG seed at
-    /// any worker count (wall-clock-bounded searches are not).
+    /// Optional explicit cap on the number of ordering evaluations **per
+    /// stream**, min-combined with the virtual-time quota. Handy for
+    /// benchmarks that want to fix the total search work exactly.
     pub max_evaluations: Option<u64>,
-    /// Number of parallel CPU workers exploring the space (§6.2). Each
-    /// worker runs an independent (root-parallel) search; results are merged
-    /// deterministically.
+    /// Calibrated cost model of one ordering evaluation (one dual-queue
+    /// interleave pass), per stage-graph item: the virtual clock rate that
+    /// converts [`Self::time_budget`] into an evaluation quota. Calibrate
+    /// it with [`calibrate_eval_cost`]; the default is the paper's
+    /// reference-CPU model.
+    pub eval_cost: CostModel,
+    /// Number of independent root-parallel search streams. The stream
+    /// count — not the thread count — determines which orderings get
+    /// explored: stream `s` always derives its RNG from `seed` and `s` and
+    /// always receives the same quota, so the plan is a pure function of
+    /// (graph, seed, streams, quota).
+    pub streams: usize,
+    /// Physical CPU threads executing the streams (§6.2). Purely a
+    /// throughput knob: any value produces bit-identical plans, more
+    /// threads just finish the fixed per-stream quotas sooner (capped at
+    /// `streams` useful threads).
     pub workers: usize,
     /// Rollouts performed per MCTS expansion.
     pub rollouts_per_expansion: usize,
@@ -71,12 +97,12 @@ pub struct OrderingSearchConfig {
     /// Base dual-queue configuration (memory limits etc.); the searched
     /// segment priorities override its `segment_priorities`.
     pub dual_queue: DualQueueConfig,
-    /// RNG seed. Worker `w` derives its stream from `seed` and `w`; worker 0
-    /// uses exactly the single-worker stream.
+    /// RNG seed. Stream `s` derives its RNG from `seed` and `s`; stream 0
+    /// uses exactly the single-stream RNG.
     pub seed: u64,
     /// Warm start: a segment ordering to evaluate before exploring, normally
     /// the previous iteration's best (see
-    /// [`ordering_from_priorities`]). MCTS additionally seeds every worker's
+    /// [`ordering_from_priorities`]). MCTS additionally seeds every stream's
     /// tree with this path, so exploration starts around the incumbent
     /// instead of cold-starting. Ignored unless it is a permutation of the
     /// segment indices.
@@ -89,6 +115,8 @@ impl Default for OrderingSearchConfig {
             strategy: SearchStrategy::Mcts,
             time_budget: Duration::from_millis(500),
             max_evaluations: None,
+            eval_cost: CostModel::REFERENCE_EVALUATION,
+            streams: 4,
             workers: 4,
             rollouts_per_expansion: 4,
             ucb_beta: 0.5,
@@ -106,6 +134,58 @@ impl OrderingSearchConfig {
         self.seed_ordering = Some(ordering);
         self
     }
+
+    /// The deterministic per-stream evaluation quota of this configuration
+    /// for a stage graph of `graph_items` items: the virtual-time budget
+    /// divided by the calibrated per-evaluation cost, min-combined with
+    /// [`Self::max_evaluations`]. This number — never a wall clock — is
+    /// what stops every search stream, which is why fixed-seed searches
+    /// are reproducible on any machine at any worker count.
+    pub fn evaluation_quota(&self, graph_items: usize) -> u64 {
+        let virtual_quota = self.eval_cost.quota(self.time_budget, graph_items as u64);
+        self.max_evaluations
+            .map_or(virtual_quota, |cap| cap.min(virtual_quota))
+    }
+}
+
+/// Measures the actual per-evaluation cost of the ordering search on
+/// `graph` and fits a [`CostModel`] from the samples — the calibration hook
+/// that aligns the virtual clock with the machine it runs on, exactly as
+/// the simulator's efficiency factors are aligned with measured kernels
+/// (§6.1 / Fig. 13).
+///
+/// This is an **offline** utility: it times real evaluations, so its output
+/// varies with the machine — feed the fitted model into
+/// [`OrderingSearchConfig::eval_cost`] *before* planning and the planning
+/// itself stays deterministic (the model only scales the quota; for
+/// reproducible plans across a fleet, distribute one fitted model to every
+/// machine). Returns `None` when `evaluations == 0` or the measurements
+/// are degenerate.
+///
+/// All samples share one problem size (this graph's item count), so the
+/// fit goes **through the origin** ([`CostModel::fit_through_origin`]):
+/// the measured mean becomes a per-item rate that extrapolates
+/// proportionally to other graph sizes, rather than a constant that would
+/// silently under-budget larger graphs. To recover the fixed overhead
+/// too, time graphs of several sizes and hand the pooled samples to
+/// [`CostModel::fit`] yourself.
+pub fn calibrate_eval_cost(
+    graph: &StageGraph,
+    num_segments: usize,
+    base: &DualQueueConfig,
+    evaluations: u32,
+) -> Option<CostModel> {
+    let mut samples = Vec::new();
+    let ordering: Vec<usize> = (0..num_segments).collect();
+    for _ in 0..evaluations {
+        let start = Instant::now();
+        let (_, _, _) = evaluate(graph, &ordering, base);
+        samples.push(CostSample {
+            units: graph.items.len() as u64,
+            seconds: start.elapsed().as_secs_f64(),
+        });
+    }
+    CostModel::fit_through_origin(&samples)
 }
 
 /// Converts segment priorities (higher = earlier) back into the ordering
@@ -149,13 +229,23 @@ pub struct OrderingResult {
     pub segment_priorities: Vec<i64>,
     /// Best simulated iteration time found, in seconds.
     pub best_time_s: f64,
-    /// Number of orderings evaluated (all workers plus the incumbents).
+    /// Number of orderings evaluated (all streams plus the incumbents).
     pub evaluations: u64,
-    /// Orderings evaluated by each search worker, in worker-index order.
+    /// Orderings evaluated by each search stream, in stream-index order.
     /// Empty when the search was skipped (single-segment graphs).
     pub worker_evaluations: Vec<u64>,
+    /// The deterministic per-stream evaluation quota the search ran under
+    /// (0 when the search was skipped).
+    pub evaluation_quota: u64,
+    /// Summed per-stream **task wall time** (each stream's elapsed time,
+    /// added up). On unloaded cores this equals CPU time and
+    /// `cpu_time / wall` approaches the worker count when the streams
+    /// scale; when workers oversubscribe the physical cores a descheduled
+    /// stream's wait time is included, so the ratio overstates real
+    /// scaling there.
+    pub cpu_time: Duration,
     /// Progress curve (monotonically decreasing best time, merged across
-    /// workers).
+    /// streams).
     pub progress: Vec<SearchProgressPoint>,
     /// The per-rank orders realising the best time.
     pub orders: RankOrders,
@@ -181,7 +271,7 @@ fn evaluate(
     (makespan, orders, priorities)
 }
 
-/// One worker's private best-so-far state plus its bookkeeping. Workers
+/// One stream's private best-so-far state plus its bookkeeping. Streams
 /// never share this — merging happens once, deterministically, at the end.
 #[derive(Clone)]
 struct WorkerOutcome {
@@ -190,6 +280,9 @@ struct WorkerOutcome {
     orders: RankOrders,
     progress: Vec<SearchProgressPoint>,
     evaluations: u64,
+    /// CPU time the stream's task took to execute (filled by the runner;
+    /// informational only — never consulted by the search itself).
+    cpu: Duration,
 }
 
 impl WorkerOutcome {
@@ -200,6 +293,7 @@ impl WorkerOutcome {
             orders: incumbent.orders.clone(),
             progress: Vec::new(),
             evaluations: 0,
+            cpu: Duration::ZERO,
         }
     }
 
@@ -221,13 +315,11 @@ impl WorkerOutcome {
         }
     }
 
-    /// True when either the shared wall clock or this worker's evaluation
-    /// budget is exhausted.
-    fn budget_exhausted(&self, config: &OrderingSearchConfig, start: Instant) -> bool {
-        start.elapsed() >= config.time_budget
-            || config
-                .max_evaluations
-                .is_some_and(|cap| self.evaluations >= cap)
+    /// True when this stream's deterministic evaluation quota is exhausted.
+    /// Deliberately consults **no clock**: the quota is the only stopping
+    /// rule, which is what makes fixed-seed searches bit-reproducible.
+    fn budget_exhausted(&self, quota: u64) -> bool {
+        self.evaluations >= quota
     }
 }
 
@@ -238,6 +330,7 @@ pub fn search_ordering(
     config: &OrderingSearchConfig,
 ) -> OrderingResult {
     let start = Instant::now();
+    let quota = config.evaluation_quota(graph.items.len());
     let identity: Vec<usize> = (0..num_segments).collect();
     let (t0, o0, p0) = evaluate(graph, &identity, &config.dual_queue);
     let mut incumbent = WorkerOutcome {
@@ -249,6 +342,7 @@ pub fn search_ordering(
             best_time_s: t0,
         }],
         evaluations: 1,
+        cpu: Duration::ZERO,
     };
 
     // Warm start: evaluate the seeded ordering (typically the previous
@@ -269,81 +363,91 @@ pub fn search_ordering(
     if num_segments > 1 {
         match config.strategy {
             SearchStrategy::Mcts => {
-                outcomes = run_root_parallel(config, |worker| {
+                outcomes = run_streams(config, |stream| {
                     let mut local = WorkerOutcome::starting_from(&incumbent);
                     mcts_worker(
                         graph,
                         num_segments,
                         config,
+                        quota,
                         warm.zip(warm_time),
                         &mut local,
                         start,
-                        worker,
+                        stream,
                     );
                     local
                 });
             }
             SearchStrategy::Random => {
-                outcomes = run_root_parallel(config, |worker| {
+                outcomes = run_streams(config, |stream| {
                     let mut local = WorkerOutcome::starting_from(&incumbent);
-                    random_worker(graph, num_segments, config, &mut local, start, worker);
+                    random_worker(
+                        graph,
+                        num_segments,
+                        config,
+                        quota,
+                        &mut local,
+                        start,
+                        stream,
+                    );
                     local
                 });
             }
             SearchStrategy::Dfs => {
                 // DFS is a deterministic lexicographic enumeration; it runs
-                // on a single worker regardless of the configured count.
+                // as a single stream regardless of the configured count.
+                let dfs_start = Instant::now();
                 let mut local = WorkerOutcome::starting_from(&incumbent);
-                dfs_search(graph, num_segments, config, &mut local, start);
+                dfs_search(graph, num_segments, config, quota, &mut local, start);
+                local.cpu = dfs_start.elapsed();
                 outcomes = vec![local];
             }
         }
     }
 
-    merge_outcomes(incumbent, outcomes)
+    merge_outcomes(incumbent, outcomes, quota)
 }
 
-/// Runs `work` on `config.workers` independent workers and returns their
-/// outcomes in worker-index order. A single worker runs inline (no thread).
-fn run_root_parallel<F>(config: &OrderingSearchConfig, work: F) -> Vec<WorkerOutcome>
+/// Executes the configured number of independent search streams on
+/// `config.workers` physical threads (via the shared work-stealing
+/// fork-join helper) and returns the outcomes in stream-index order.
+/// Every stream's work is a pure function of its index, so the returned
+/// vector is identical no matter which thread ran which stream.
+fn run_streams<F>(config: &OrderingSearchConfig, work: F) -> Vec<WorkerOutcome>
 where
     F: Fn(usize) -> WorkerOutcome + Sync + Send,
 {
-    let workers = config.workers.max(1);
-    if workers == 1 {
-        return vec![work(0)];
-    }
-    crossbeam::scope(|scope| {
-        let handles: Vec<_> = (0..workers)
-            .map(|w| {
-                let work = &work;
-                scope.spawn(move |_| work(w))
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("search worker panicked"))
-            .collect()
+    let streams = config.streams.max(1);
+    crate::par::parallel_map_indexed(streams, config.workers, |stream| {
+        let task_start = Instant::now();
+        let mut outcome = work(stream);
+        outcome.cpu = task_start.elapsed();
+        outcome
     })
-    .expect("search scope panicked")
 }
 
-/// Merges the incumbent and every worker outcome into the final result.
+/// Merges the incumbent and every stream outcome into the final result.
 ///
-/// Workers are visited in index order and only a *strictly* better time
-/// replaces the current best, so ties resolve to the lowest worker index —
+/// Streams are visited in index order and only a *strictly* better time
+/// replaces the current best, so ties resolve to the lowest stream index —
 /// the stable tie-break that keeps fixed-seed searches deterministic.
-fn merge_outcomes(incumbent: WorkerOutcome, outcomes: Vec<WorkerOutcome>) -> OrderingResult {
+fn merge_outcomes(
+    incumbent: WorkerOutcome,
+    outcomes: Vec<WorkerOutcome>,
+    quota: u64,
+) -> OrderingResult {
     let mut evaluations = incumbent.evaluations;
     let mut worker_evaluations = Vec::with_capacity(outcomes.len());
     let mut progress = incumbent.progress.clone();
     let mut best_time = incumbent.time_s;
     let mut best_priorities = incumbent.priorities;
     let mut best_orders = incumbent.orders;
+    let mut cpu_time = Duration::ZERO;
     for outcome in &outcomes {
         evaluations += outcome.evaluations;
         worker_evaluations.push(outcome.evaluations);
         progress.extend(outcome.progress.iter().copied());
+        cpu_time += outcome.cpu;
         if outcome.time_s < best_time {
             best_time = outcome.time_s;
             best_priorities = outcome.priorities.clone();
@@ -371,31 +475,35 @@ fn merge_outcomes(incumbent: WorkerOutcome, outcomes: Vec<WorkerOutcome>) -> Ord
         best_time_s: best_time,
         evaluations,
         worker_evaluations,
+        evaluation_quota: if outcomes.is_empty() { 0 } else { quota },
+        cpu_time,
         progress: merged,
         orders: best_orders,
     }
 }
 
-/// The RNG stream of worker `w`; worker 0 replays the single-worker stream.
-fn worker_rng(seed: u64, worker: usize) -> StdRng {
-    StdRng::seed_from_u64(seed ^ (worker as u64).wrapping_mul(0xA5A5_A5A5))
+/// The RNG of stream `s`; stream 0 replays the single-stream RNG.
+fn worker_rng(seed: u64, stream: usize) -> StdRng {
+    StdRng::seed_from_u64(seed ^ (stream as u64).wrapping_mul(0xA5A5_A5A5))
 }
 
 // ---------------------------------------------------------------------------
 // Random exploration
 // ---------------------------------------------------------------------------
 
+#[allow(clippy::too_many_arguments)]
 fn random_worker(
     graph: &StageGraph,
     num_segments: usize,
     config: &OrderingSearchConfig,
+    quota: u64,
     local: &mut WorkerOutcome,
     start: Instant,
-    worker: usize,
+    stream: usize,
 ) {
-    let mut rng = worker_rng(config.seed, worker);
+    let mut rng = worker_rng(config.seed, stream);
     let mut ordering: Vec<usize> = (0..num_segments).collect();
-    while !local.budget_exhausted(config, start) {
+    while !local.budget_exhausted(quota) {
         ordering.shuffle(&mut rng);
         let (t, o, p) = evaluate(graph, &ordering, &config.dual_queue);
         local.evaluations += 1;
@@ -411,20 +519,23 @@ fn dfs_search(
     graph: &StageGraph,
     num_segments: usize,
     config: &OrderingSearchConfig,
+    quota: u64,
     local: &mut WorkerOutcome,
     start: Instant,
 ) {
     // Lexicographic enumeration of permutations via recursion with an
-    // explicit prefix stack, stopping at the budget.
+    // explicit prefix stack, stopping at the quota.
+    #[allow(clippy::too_many_arguments)]
     fn recurse(
         graph: &StageGraph,
         config: &OrderingSearchConfig,
+        quota: u64,
         local: &mut WorkerOutcome,
         start: Instant,
         prefix: &mut Vec<usize>,
         remaining: &mut Vec<usize>,
     ) {
-        if local.budget_exhausted(config, start) {
+        if local.budget_exhausted(quota) {
             return;
         }
         if remaining.is_empty() {
@@ -436,14 +547,22 @@ fn dfs_search(
         for i in 0..remaining.len() {
             let seg = remaining.remove(i);
             prefix.push(seg);
-            recurse(graph, config, local, start, prefix, remaining);
+            recurse(graph, config, quota, local, start, prefix, remaining);
             prefix.pop();
             remaining.insert(i, seg);
         }
     }
     let mut prefix = Vec::new();
     let mut remaining: Vec<usize> = (0..num_segments).collect();
-    recurse(graph, config, local, start, &mut prefix, &mut remaining);
+    recurse(
+        graph,
+        config,
+        quota,
+        local,
+        start,
+        &mut prefix,
+        &mut remaining,
+    );
 }
 
 // ---------------------------------------------------------------------------
@@ -509,23 +628,25 @@ impl MctsTree {
     }
 }
 
-/// One root-parallel MCTS worker: owns its tree and RNG outright, so the
+/// One root-parallel MCTS stream: owns its tree and RNG outright, so the
 /// entire select/expand/rollout/backpropagate loop runs without locks.
+#[allow(clippy::too_many_arguments)]
 fn mcts_worker(
     graph: &StageGraph,
     num_segments: usize,
     config: &OrderingSearchConfig,
+    quota: u64,
     warm: Option<(&[usize], f64)>,
     local: &mut WorkerOutcome,
     start: Instant,
-    worker: usize,
+    stream: usize,
 ) {
-    let mut rng = worker_rng(config.seed, worker);
+    let mut rng = worker_rng(config.seed, stream);
     let mut tree = MctsTree::new(num_segments);
     if let Some((seed, time_s)) = warm {
         tree.seed_path(seed, time_s);
     }
-    while !local.budget_exhausted(config, start) {
+    while !local.budget_exhausted(quota) {
         // --- Selection + expansion. ---
         let mut node_idx = 0usize;
         let mut path = vec![0usize];
@@ -585,7 +706,7 @@ fn mcts_worker(
         // --- Rollouts. ---
         let mut local_best = f64::INFINITY;
         for _ in 0..config.rollouts_per_expansion.max(1) {
-            if local.budget_exhausted(config, start) {
+            if local.budget_exhausted(quota) {
                 break;
             }
             let mut ordering = prefix.clone();
@@ -642,7 +763,10 @@ mod tests {
     fn quick_config(strategy: SearchStrategy) -> OrderingSearchConfig {
         OrderingSearchConfig {
             strategy,
-            time_budget: Duration::from_millis(200),
+            // Virtual time: ~50 ms worth of evaluations per stream under
+            // the reference cost model, regardless of the machine.
+            time_budget: Duration::from_millis(50),
+            streams: 2,
             workers: 2,
             rollouts_per_expansion: 2,
             ..OrderingSearchConfig::default()
@@ -754,12 +878,14 @@ mod tests {
         }
     }
 
-    fn bounded_config(workers: usize, per_worker_evaluations: u64) -> OrderingSearchConfig {
+    /// Fixed search space (4 streams × an explicit per-stream quota); only
+    /// the physical worker count varies.
+    fn bounded_config(workers: usize, per_stream_evaluations: u64) -> OrderingSearchConfig {
         OrderingSearchConfig {
             strategy: SearchStrategy::Mcts,
-            // Bound by evaluations, not wall clock, for determinism.
             time_budget: Duration::from_secs(3600),
-            max_evaluations: Some(per_worker_evaluations),
+            max_evaluations: Some(per_stream_evaluations),
+            streams: 4,
             workers,
             rollouts_per_expansion: 2,
             seed: 7,
@@ -785,45 +911,92 @@ mod tests {
         assert!((a.best_time_s - b.best_time_s).abs() < 1e-12);
     }
 
+    /// The headline guarantee of the virtual-time schedule: the physical
+    /// worker count is a pure throughput knob — every count produces the
+    /// bit-identical result, because the stream set and each stream's
+    /// quota never depend on it.
     #[test]
-    fn root_parallel_search_is_deterministic_at_any_worker_count() {
+    fn plans_are_bit_identical_across_worker_counts() {
         let (graph, n) = vlm_graph(4);
-        for workers in [2usize, 4] {
-            let run = || search_ordering(&graph, n, &bounded_config(workers, 30));
-            let a = run();
-            let b = run();
-            assert_eq!(
-                a.segment_priorities, b.segment_priorities,
-                "{workers} workers"
-            );
-            assert_eq!(a.orders, b.orders, "{workers} workers");
-            assert_eq!(a.evaluations, b.evaluations, "{workers} workers");
-            assert_eq!(a.worker_evaluations, b.worker_evaluations);
-            assert_eq!(a.worker_evaluations.len(), workers);
-            assert!((a.best_time_s - b.best_time_s).abs() < 1e-12);
-        }
-    }
-
-    #[test]
-    fn adding_workers_never_degrades_the_plan_for_a_fixed_seed() {
-        let (graph, n) = vlm_graph(4);
-        // Worker 0 replays the single-worker RNG stream with the same
-        // per-worker budget, so the merged parallel best can only be ≤ the
-        // single-threaded best.
-        let single = search_ordering(&graph, n, &bounded_config(1, 30));
+        let reference = search_ordering(&graph, n, &bounded_config(1, 30));
+        assert_eq!(reference.worker_evaluations.len(), 4, "4 streams");
         for workers in [2usize, 4, 8] {
             let parallel = search_ordering(&graph, n, &bounded_config(workers, 30));
-            assert!(
-                parallel.best_time_s <= single.best_time_s + 1e-12,
-                "{workers} workers: {} vs single-threaded {}",
-                parallel.best_time_s,
-                single.best_time_s
+            assert_eq!(
+                parallel.segment_priorities, reference.segment_priorities,
+                "{workers} workers"
+            );
+            assert_eq!(parallel.orders, reference.orders, "{workers} workers");
+            assert_eq!(parallel.evaluations, reference.evaluations);
+            assert_eq!(parallel.worker_evaluations, reference.worker_evaluations);
+            assert_eq!(
+                parallel.best_time_s.to_bits(),
+                reference.best_time_s.to_bits(),
+                "{workers} workers"
             );
         }
     }
 
     #[test]
-    fn max_evaluations_caps_each_worker() {
+    fn virtual_time_budgets_are_deterministic_without_an_evaluation_cap() {
+        let (graph, n) = vlm_graph(4);
+        // A pure time budget (no max_evaluations): the quota comes from the
+        // calibrated cost model, so repeated runs and different worker
+        // counts still agree bit-for-bit.
+        let config = |workers: usize| OrderingSearchConfig {
+            strategy: SearchStrategy::Mcts,
+            time_budget: Duration::from_millis(25),
+            streams: 3,
+            workers,
+            seed: 11,
+            ..OrderingSearchConfig::default()
+        };
+        let a = search_ordering(&graph, n, &config(1));
+        let b = search_ordering(&graph, n, &config(4));
+        let c = search_ordering(&graph, n, &config(1));
+        assert!(a.evaluation_quota > 0, "a 25 ms budget buys evaluations");
+        assert_eq!(a.segment_priorities, b.segment_priorities);
+        assert_eq!(a.orders, b.orders);
+        assert_eq!(a.evaluations, b.evaluations);
+        assert_eq!(a.best_time_s.to_bits(), b.best_time_s.to_bits());
+        assert_eq!(a.orders, c.orders);
+        assert_eq!(a.evaluations, c.evaluations);
+    }
+
+    #[test]
+    fn adding_streams_never_degrades_the_plan_for_a_fixed_seed() {
+        let (graph, n) = vlm_graph(4);
+        // Stream s explores the same orderings no matter how many other
+        // streams exist, so a larger stream set explores a superset and the
+        // merged best can only improve.
+        let small = search_ordering(
+            &graph,
+            n,
+            &OrderingSearchConfig {
+                streams: 1,
+                ..bounded_config(4, 30)
+            },
+        );
+        for streams in [2usize, 4, 8] {
+            let wide = search_ordering(
+                &graph,
+                n,
+                &OrderingSearchConfig {
+                    streams,
+                    ..bounded_config(4, 30)
+                },
+            );
+            assert!(
+                wide.best_time_s <= small.best_time_s + 1e-12,
+                "{streams} streams: {} vs single-stream {}",
+                wide.best_time_s,
+                small.best_time_s
+            );
+        }
+    }
+
+    #[test]
+    fn max_evaluations_caps_each_stream() {
         let (graph, n) = vlm_graph(3);
         for strategy in [
             SearchStrategy::Mcts,
@@ -834,14 +1007,16 @@ mod tests {
                 let config = OrderingSearchConfig {
                     time_budget: Duration::from_secs(3600),
                     max_evaluations: Some(10),
+                    streams: 3,
                     workers,
                     rollouts_per_expansion: 1,
                     ..quick_config(strategy)
                 };
                 let result = search_ordering(&graph, n, &config);
+                assert_eq!(result.evaluation_quota, 10, "{strategy:?}/{workers}");
                 assert!(
                     result.worker_evaluations.iter().all(|&e| e <= 10),
-                    "{strategy:?}/{workers}: per-worker counts {:?}",
+                    "{strategy:?}/{workers}: per-stream counts {:?}",
                     result.worker_evaluations
                 );
                 let cap = 1 + 10 * result.worker_evaluations.len() as u64;
@@ -852,6 +1027,44 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn evaluation_quota_follows_budget_and_graph_size() {
+        let config = OrderingSearchConfig::default();
+        // Bigger budgets buy more evaluations; bigger graphs fewer.
+        let small_graph = config.evaluation_quota(50);
+        let large_graph = config.evaluation_quota(5000);
+        assert!(small_graph > large_graph);
+        let short = OrderingSearchConfig {
+            time_budget: Duration::from_millis(10),
+            ..config.clone()
+        };
+        assert!(short.evaluation_quota(50) < small_graph);
+        // An explicit cap min-combines with the virtual quota.
+        let capped = OrderingSearchConfig {
+            max_evaluations: Some(3),
+            ..config.clone()
+        };
+        assert_eq!(capped.evaluation_quota(50), 3);
+        // A zero budget buys nothing, whatever the cap says.
+        let zero = OrderingSearchConfig {
+            time_budget: Duration::ZERO,
+            max_evaluations: Some(100),
+            ..config
+        };
+        assert_eq!(zero.evaluation_quota(50), 0);
+    }
+
+    #[test]
+    fn calibrate_eval_cost_fits_a_usable_model() {
+        let (graph, n) = vlm_graph(2);
+        let model = calibrate_eval_cost(&graph, n, &DualQueueConfig::default(), 8)
+            .expect("calibration succeeds on a real graph");
+        assert!(model.seconds(graph.items.len() as u64) > 0.0);
+        // The fitted model converts budgets into finite quotas.
+        let quota = model.quota(Duration::from_millis(100), graph.items.len() as u64);
+        assert!(quota > 0 && quota < u64::MAX);
     }
 
     #[test]

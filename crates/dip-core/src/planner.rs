@@ -4,7 +4,7 @@
 //! and the resulting execution plan is deployed (here: simulated).
 
 use crate::error::{DipError, ResultExt};
-use crate::memopt::{optimize_memory, MemoryOptConfig};
+use crate::memopt::{optimize_memory_detailed, MemoryOptConfig};
 use crate::ordering::{search_ordering, OrderingResult, OrderingSearchConfig, SearchStrategy};
 use crate::partitioner::{ModalityAwarePartitioner, PartitionerConfig, PartitionerOutput};
 use dip_models::{BatchWorkload, LmmSpec};
@@ -58,11 +58,14 @@ impl Default for PlannerConfig {
 
 impl PlannerConfig {
     /// A configuration with a short search budget, handy for tests and
-    /// examples.
+    /// examples. The budget is virtual time: ~40 ms worth of evaluations
+    /// per stream under the calibrated cost model, identical on any
+    /// machine.
     pub fn fast() -> Self {
         Self {
             search: OrderingSearchConfig {
-                time_budget: Duration::from_millis(150),
+                time_budget: Duration::from_millis(40),
+                streams: 2,
                 workers: 2,
                 ..OrderingSearchConfig::default()
             },
@@ -87,11 +90,17 @@ impl PlannerConfig {
     }
 
     /// Gives the planner an `n`-thread CPU budget: `n` ordering-search
-    /// workers per plan, with [`crate::PlanningSession::plan_many`] sizing
-    /// its pool within the same budget (so with all `n` threads devoted to
-    /// the search, batch planning proceeds one plan at a time). To fan out
+    /// workers per plan (also the memory optimiser's per-plan thread
+    /// budget), with [`crate::PlanningSession::plan_many`] sizing its pool
+    /// within the same budget (so with all `n` threads devoted to the
+    /// search, batch planning proceeds one plan at a time). To fan out
     /// across plans instead, set `search.workers` to 1 and keep
     /// `num_threads` at the core count.
+    ///
+    /// Purely a throughput knob: `search.streams` (the search-space shape)
+    /// is deliberately left untouched, so two machines configured with
+    /// different thread budgets still plan **bit-identically** for a fixed
+    /// seed.
     pub fn with_num_threads(mut self, n: usize) -> Self {
         let n = n.max(1);
         self.search.workers = n;
@@ -111,9 +120,22 @@ pub struct PlannerStats {
     pub partition_time: Duration,
     /// Wall-clock time of the schedule-search phase (§5.1–5.2).
     pub search_time: Duration,
+    /// Summed per-stream task wall time of the search phase (see
+    /// [`crate::OrderingResult::cpu_time`] for the exact semantics).
+    /// `search_cpu_time / search_time` exposes the phase's parallel
+    /// speedup — it approaches the worker count when the root-parallel
+    /// search scales on dedicated cores, and overstates it when workers
+    /// oversubscribe the machine.
+    pub search_cpu_time: Duration,
     /// Wall-clock time of the memory-optimisation phase (§5.3), including
     /// the graph rebuild under the chosen strategies.
     pub memopt_time: Duration,
+    /// Summed per-rank solve wall time of the memory-optimisation phase
+    /// (same semantics as `search_cpu_time`). `memopt_cpu_time /
+    /// memopt_time` exposes how much of the phase the rank-parallel
+    /// decomposition overlaps — the Amdahl lift of parallelising the
+    /// former serial tail.
+    pub memopt_cpu_time: Duration,
     /// Number of schedule candidates evaluated by the searcher.
     pub search_evaluations: u64,
     /// Schedule candidates evaluated by each parallel search worker, in
@@ -366,7 +388,7 @@ impl<'a> DipPlanner<'a> {
         // Phase ①+②: segment reordering + stage interleaving.
         let search_start = Instant::now();
         let warm_started = self.config.enable_search && seed_ordering.is_some();
-        let (priorities, orders, evaluations, worker_evaluations, planned_time) =
+        let (priorities, orders, evaluations, worker_evaluations, search_cpu_time, planned_time) =
             if self.config.enable_search {
                 let search_config = OrderingSearchConfig {
                     dual_queue: base_queue.clone(),
@@ -378,6 +400,7 @@ impl<'a> DipPlanner<'a> {
                     best_time_s,
                     evaluations,
                     worker_evaluations,
+                    cpu_time,
                     orders,
                     ..
                 } = search_ordering(&graph, partition.placement.segments.len(), &search_config);
@@ -386,6 +409,7 @@ impl<'a> DipPlanner<'a> {
                     orders,
                     evaluations,
                     worker_evaluations,
+                    cpu_time,
                     best_time_s,
                 )
             } else {
@@ -395,30 +419,49 @@ impl<'a> DipPlanner<'a> {
                     orders,
                     1,
                     Vec::new(),
+                    Duration::ZERO,
                     makespan,
                 )
             };
         let search_time = search_start.elapsed();
 
-        // Phase ③: per-layer memory optimisation, then rebuild the graph with
-        // the chosen strategies and re-interleave with the same priorities.
+        // Phase ③: per-layer memory optimisation — the per-rank ILPs run
+        // on this plan's CPU-thread share (`search.workers`, the same
+        // budget the search phase just released) — then rebuild the graph
+        // with the chosen strategies and re-interleave with the same
+        // priorities.
         let memopt_start = Instant::now();
-        let (graph, orders, memory_plan, planned_time) = if self.config.enable_memory_opt {
-            let memory_plan = optimize_memory(&graph, &orders, &budget, &self.config.memory)?;
-            let graph = StageGraphBuilder::new_on(self.spec, &partition.placement, &self.topology)
-                .with_efficiency(self.config.efficiency)
-                .with_memory_plan(memory_plan.clone())
-                .build(microbatches, &sub_plan)
-                .planning_context("rebuilding stage graph with memory plan")?;
-            let queue = DualQueueConfig {
-                segment_priorities: priorities.clone(),
-                ..base_queue
+        let (graph, orders, memory_plan, memopt_cpu_time, planned_time) =
+            if self.config.enable_memory_opt {
+                let memopt = optimize_memory_detailed(
+                    &graph,
+                    &orders,
+                    &budget,
+                    &self.config.memory,
+                    self.config.search.workers.max(1),
+                )?;
+                let memory_plan = memopt.plan;
+                let graph =
+                    StageGraphBuilder::new_on(self.spec, &partition.placement, &self.topology)
+                        .with_efficiency(self.config.efficiency)
+                        .with_memory_plan(memory_plan.clone())
+                        .build(microbatches, &sub_plan)
+                        .planning_context("rebuilding stage graph with memory plan")?;
+                let queue = DualQueueConfig {
+                    segment_priorities: priorities.clone(),
+                    ..base_queue
+                };
+                let (orders, makespan) = dual_queue::schedule(&graph, &queue);
+                (graph, orders, memory_plan, memopt.cpu_time, makespan)
+            } else {
+                (
+                    graph,
+                    orders,
+                    MemoryPlan::new(),
+                    Duration::ZERO,
+                    planned_time,
+                )
             };
-            let (orders, makespan) = dual_queue::schedule(&graph, &queue);
-            (graph, orders, memory_plan, makespan)
-        } else {
-            (graph, orders, MemoryPlan::new(), planned_time)
-        };
         let memopt_time = memopt_start.elapsed();
 
         Ok(DipPlan {
@@ -431,7 +474,9 @@ impl<'a> DipPlanner<'a> {
                 planning_time: start.elapsed(),
                 partition_time,
                 search_time,
+                search_cpu_time,
                 memopt_time,
+                memopt_cpu_time,
                 search_evaluations: evaluations,
                 search_worker_evaluations: worker_evaluations,
                 planned_time_s: planned_time,

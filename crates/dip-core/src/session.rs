@@ -225,8 +225,14 @@ pub struct SessionStats {
     pub partition_time: Duration,
     /// Cumulative schedule-search time of fresh plans.
     pub search_time: Duration,
+    /// Cumulative CPU time inside the parallel search streams of fresh
+    /// plans (see [`crate::PlannerStats::search_cpu_time`]).
+    pub search_cpu_time: Duration,
     /// Cumulative memory-optimisation time of fresh plans.
     pub memopt_time: Duration,
+    /// Cumulative CPU time inside the per-rank memory-ILP solves of fresh
+    /// plans (see [`crate::PlannerStats::memopt_cpu_time`]).
+    pub memopt_cpu_time: Duration,
 }
 
 impl SessionStats {
@@ -699,7 +705,9 @@ impl<'a> PlanningSession<'a> {
         stats.planning_time += plan.stats.planning_time;
         stats.partition_time += plan.stats.partition_time;
         stats.search_time += plan.stats.search_time;
+        stats.search_cpu_time += plan.stats.search_cpu_time;
         stats.memopt_time += plan.stats.memopt_time;
+        stats.memopt_cpu_time += plan.stats.memopt_cpu_time;
         drop(stats);
 
         Ok(PlanOutcome {

@@ -146,9 +146,14 @@ pub fn execute(
         }
     }
 
-    let report = engine
-        .run()
-        .map_err(|e| PipelineError::Simulation(e.to_string()))?;
+    let report = engine.run().map_err(|e| match e {
+        // An inconsistent report is a bug in the engine/graph accounting,
+        // not an invalid schedule — keep the two classes distinguishable.
+        dip_sim::engine::EngineError::InconsistentReport { .. } => {
+            PipelineError::Internal(e.to_string())
+        }
+        _ => PipelineError::Simulation(e.to_string()),
+    })?;
 
     // The simulator replays one data-parallel replica, priced on replica 0's
     // devices (rank r → GPUs r*tp..), and assumes every other replica is
@@ -157,11 +162,17 @@ pub fn execute(
     let cluster_peak =
         topology.peak_flops_of(config.parallel.tp * config.parallel.pp) * config.parallel.dp as f64;
     let total_model_flops = graph.model_flops * config.parallel.dp as f64;
+    // `try_bubble_fraction` (rather than the debug-asserting accessor) so a
+    // busy-time over-accounting fails the simulation in release builds too,
+    // instead of flowing into the metrics as a silently wrong number.
+    let bubble_fraction = report
+        .try_bubble_fraction()
+        .map_err(|e| PipelineError::Internal(e.to_string()))?;
     let metrics = IterationMetrics::new(
         report.makespan,
         total_model_flops,
         cluster_peak,
-        report.bubble_fraction(),
+        bubble_fraction,
         report.max_peak_memory(),
     );
 

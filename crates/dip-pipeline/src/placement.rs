@@ -71,6 +71,12 @@ pub enum PipelineError {
     InvalidConfig(String),
     /// The simulated plan was rejected by the event engine.
     Simulation(String),
+    /// An internal accounting invariant was violated (e.g. the engine
+    /// produced an inconsistent report): a bug in this crate or below, not
+    /// in the caller's input. The planner surfaces it as
+    /// `DipError::Internal` instead of debug-asserting it away in release
+    /// builds.
+    Internal(String),
 }
 
 impl fmt::Display for PipelineError {
@@ -95,6 +101,9 @@ impl fmt::Display for PipelineError {
             }
             PipelineError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
             PipelineError::Simulation(msg) => write!(f, "simulation failed: {msg}"),
+            PipelineError::Internal(msg) => {
+                write!(f, "internal invariant violated: {msg}")
+            }
         }
     }
 }

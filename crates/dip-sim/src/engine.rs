@@ -108,6 +108,15 @@ pub enum EngineError {
     },
     /// The dependency graph (including same-rank ordering) contains a cycle.
     DependencyCycle,
+    /// The simulated report violates an internal accounting invariant
+    /// (e.g. a rank's busy time exceeds the makespan beyond float
+    /// tolerance). This indicates over-accounted durations upstream; it
+    /// used to be a `debug_assert!` that release builds silently clamped,
+    /// which hid exactly this class of bug from CI.
+    InconsistentReport {
+        /// Human-readable description of the violated invariant.
+        detail: String,
+    },
 }
 
 impl fmt::Display for EngineError {
@@ -122,6 +131,9 @@ impl fmt::Display for EngineError {
                 task.0, dependency.0
             ),
             EngineError::DependencyCycle => write!(f, "execution plan contains a dependency cycle"),
+            EngineError::InconsistentReport { detail } => {
+                write!(f, "inconsistent engine report: {detail}")
+            }
         }
     }
 }
@@ -182,22 +194,46 @@ impl EngineReport {
     /// silently clamped to zero, which used to hide exactly that class of
     /// bug. Only a negative within the float-summation tolerance is
     /// flushed to zero, keeping the result in `0..=1`.
+    ///
+    /// Release builds get the same protection through
+    /// [`EngineReport::try_bubble_fraction`], which the plan executor uses
+    /// so the violation surfaces as a returned error instead of a silently
+    /// wrong metric.
     pub fn bubble_fraction(&self) -> f64 {
+        match self.try_bubble_fraction() {
+            Ok(fraction) => fraction,
+            Err(err) => {
+                debug_assert!(false, "{err}: over-accounted durations");
+                let total: f64 = self.ranks.len() as f64 * self.makespan;
+                let busy: f64 = self.ranks.iter().map(|r| r.busy_s).sum();
+                (total - busy) / total
+            }
+        }
+    }
+
+    /// Like [`EngineReport::bubble_fraction`], but reports a busy-time
+    /// over-accounting as [`EngineError::InconsistentReport`] instead of
+    /// debug-asserting — so the check also runs in release builds, where
+    /// `debug_assert!` compiles away.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::InconsistentReport`] when the summed busy
+    /// time exceeds `ranks × makespan` beyond float-summation tolerance.
+    pub fn try_bubble_fraction(&self) -> Result<f64, EngineError> {
         let total: f64 = self.ranks.len() as f64 * self.makespan;
         if total <= 0.0 {
-            return 0.0;
+            return Ok(0.0);
         }
         let busy: f64 = self.ranks.iter().map(|r| r.busy_s).sum();
-        debug_assert!(
-            busy <= total + busy_time_tolerance(total),
-            "busy time {busy} exceeds total rank-time {total}: over-accounted durations"
-        );
-        let bubble = (total - busy) / total;
-        if bubble < 0.0 && busy <= total + busy_time_tolerance(total) {
-            0.0
-        } else {
-            bubble
+        if busy > total + busy_time_tolerance(total) {
+            return Err(EngineError::InconsistentReport {
+                detail: format!(
+                    "busy time {busy} exceeds total rank-time {total}: over-accounted durations"
+                ),
+            });
         }
+        Ok(((total - busy) / total).max(0.0))
     }
 
     /// The highest peak memory across ranks.
@@ -348,22 +384,20 @@ impl SimEngine {
                 .sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
             // Same-rank tasks are serialised, so their summed durations
             // cannot exceed the makespan (the max over task end times):
-            // computed exactly, with the invariant asserted instead of the
-            // old `.max(0.0)` clamp that masked over-accounting. Only a
-            // float-summation ulp of negativity is flushed to zero.
-            debug_assert!(
-                rank.busy_s <= makespan + busy_time_tolerance(makespan),
-                "rank {} busy {} exceeds makespan {makespan}",
-                rank.rank,
-                rank.busy_s
-            );
-            let bubble = makespan - rank.busy_s;
-            rank.bubble_s =
-                if bubble < 0.0 && rank.busy_s <= makespan + busy_time_tolerance(makespan) {
-                    0.0
-                } else {
-                    bubble
-                };
+            // computed exactly, with the invariant reported as a returned
+            // error instead of the old `.max(0.0)` clamp (which masked
+            // over-accounting) or a `debug_assert!` (which release builds
+            // compiled away). Only a float-summation ulp of negativity is
+            // flushed to zero.
+            if rank.busy_s > makespan + busy_time_tolerance(makespan) {
+                return Err(EngineError::InconsistentReport {
+                    detail: format!(
+                        "rank {} busy {} exceeds makespan {makespan}",
+                        rank.rank, rank.busy_s
+                    ),
+                });
+            }
+            rank.bubble_s = (makespan - rank.busy_s).max(0.0);
         }
 
         // Memory timelines: events at task starts and ends.
@@ -516,6 +550,39 @@ mod tests {
             records: Vec::new(),
         };
         let _ = report.bubble_fraction();
+    }
+
+    /// Unlike the `debug_assert!` path above, the fallible accessor reports
+    /// the inconsistency in **every** build profile — this test is what the
+    /// release-mode CI step runs to keep the invariant checked where
+    /// `debug_assert!` compiles away.
+    #[test]
+    fn over_accounted_busy_time_is_a_returned_error_in_release_too() {
+        let report = EngineReport {
+            makespan: 1.0,
+            ranks: vec![RankTimeline {
+                rank: 0,
+                busy_s: 1.5,
+                ..RankTimeline::default()
+            }],
+            records: Vec::new(),
+        };
+        let err = report.try_bubble_fraction().unwrap_err();
+        assert!(matches!(err, EngineError::InconsistentReport { .. }));
+        assert!(err.to_string().contains("over-accounted durations"));
+
+        // A consistent report passes and matches the infallible accessor.
+        let ok = EngineReport {
+            makespan: 2.0,
+            ranks: vec![RankTimeline {
+                rank: 0,
+                busy_s: 1.0,
+                ..RankTimeline::default()
+            }],
+            records: Vec::new(),
+        };
+        assert_eq!(ok.try_bubble_fraction().unwrap(), 0.5);
+        assert_eq!(ok.bubble_fraction(), 0.5);
     }
 
     #[test]

@@ -56,9 +56,9 @@ pub mod metrics;
 pub mod timing;
 pub mod topology;
 
-pub use calibration::{calibrate, CalibrationSample};
+pub use calibration::{calibrate, CalibrationSample, CostModel, CostSample};
 pub use efficiency::EfficiencyModel;
-pub use engine::{EngineReport, RankTimeline, SimEngine, Task, TaskId, TaskKind};
+pub use engine::{EngineError, EngineReport, RankTimeline, SimEngine, Task, TaskId, TaskKind};
 pub use hardware::{ClusterSpec, GpuGeneration, GpuSpec};
 pub use metrics::{mfu, IterationMetrics};
 pub use timing::{StageTiming, TimingModel};

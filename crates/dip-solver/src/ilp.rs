@@ -150,6 +150,12 @@ impl GroupChoiceProblem {
 pub struct SolveOptions {
     /// Wall-clock limit; the best incumbent found so far is returned when hit.
     pub time_limit: Duration,
+    /// Deterministic budget on explored branch-and-bound nodes; the best
+    /// incumbent found so far is returned when hit. Unlike `time_limit`,
+    /// a node budget yields the same solution on any machine — the memory
+    /// optimiser derives it from its (virtual) time limit via a calibrated
+    /// per-node cost model so its plans are reproducible.
+    pub node_limit: Option<u64>,
     /// Relative optimality gap that permits early termination (e.g. `0.05`).
     pub optimality_gap: f64,
     /// Whether to seed the search with [`GroupChoiceProblem::greedy_solution`].
@@ -160,6 +166,7 @@ impl Default for SolveOptions {
     fn default() -> Self {
         Self {
             time_limit: Duration::from_secs(10),
+            node_limit: None,
             optimality_gap: 0.0,
             warm_start: true,
         }
@@ -175,6 +182,8 @@ pub enum SolveStatus {
     WithinGap,
     /// Stopped at the time limit with a feasible incumbent.
     TimeLimit,
+    /// Stopped at the deterministic node budget with a feasible incumbent.
+    NodeLimit,
     /// No feasible selection exists (or none was found before the time limit).
     Infeasible,
 }
@@ -273,6 +282,7 @@ pub fn solve(problem: &GroupChoiceProblem, options: &SolveOptions) -> Solution {
     let mut selection = vec![usize::MAX; problem.groups.len()];
     let mut usage = vec![0.0f64; problem.capacities.len()];
     let mut timed_out = false;
+    let mut node_budget_hit = false;
     let mut gap_exit = false;
 
     // Iterative DFS with explicit stack of (depth, next candidate position).
@@ -288,6 +298,10 @@ pub fn solve(problem: &GroupChoiceProblem, options: &SolveOptions) -> Solution {
     'search: while let Some(frame) = stack.last_mut() {
         if nodes.is_multiple_of(1024) && start.elapsed() > options.time_limit {
             timed_out = true;
+            break 'search;
+        }
+        if options.node_limit.is_some_and(|cap| nodes >= cap) {
+            node_budget_hit = true;
             break 'search;
         }
         let depth = frame.depth;
@@ -365,6 +379,8 @@ pub fn solve(problem: &GroupChoiceProblem, options: &SolveOptions) -> Solution {
         Some(selection) => {
             let status = if timed_out {
                 SolveStatus::TimeLimit
+            } else if node_budget_hit {
+                SolveStatus::NodeLimit
             } else if gap_exit {
                 SolveStatus::WithinGap
             } else {
@@ -587,6 +603,47 @@ mod tests {
             },
         );
         assert!(sol.is_feasible());
+    }
+
+    #[test]
+    fn node_limit_returns_incumbent_deterministically() {
+        // No warm start, so the incumbent must come from the tree search —
+        // a budget of 40 nodes reaches one complete assignment (30 groups)
+        // and then stops, exercising the budget-bounded exit.
+        let mut p = GroupChoiceProblem::new(vec![1e12]);
+        for i in 0..30 {
+            p.add_group(vec![
+                cand(1.0 + (i % 5) as f64, &[1.0]),
+                cand(2.0, &[0.5]),
+                cand(3.0, &[0.1]),
+            ]);
+        }
+        let bounded = SolveOptions {
+            node_limit: Some(40),
+            warm_start: false,
+            ..SolveOptions::default()
+        };
+        let a = solve(&p, &bounded);
+        let b = solve(&p, &bounded);
+        assert_eq!(a.status, SolveStatus::NodeLimit);
+        assert!(a.is_feasible());
+        // Same budget ⇒ bit-identical solution (the budget is counted, not
+        // clocked, so this holds on any machine).
+        assert_eq!(a.selection, b.selection);
+        assert_eq!(a.objective.to_bits(), b.objective.to_bits());
+        assert_eq!(a.nodes_explored, b.nodes_explored);
+
+        // A generous node budget proves optimality like the unbounded solve.
+        let generous = solve(
+            &p,
+            &SolveOptions {
+                node_limit: Some(u64::MAX),
+                ..SolveOptions::default()
+            },
+        );
+        let unbounded = solve(&p, &SolveOptions::default());
+        assert_eq!(generous.status, SolveStatus::Optimal);
+        assert_eq!(generous.selection, unbounded.selection);
     }
 
     proptest! {
