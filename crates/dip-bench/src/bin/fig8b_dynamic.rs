@@ -23,13 +23,14 @@ use dip_sim::ClusterSpec;
 fn print_session_stats(name: &str, stats: &SessionStats) {
     println!(
         "{name:<12} planning: {} plans | cache {} hits / {} misses (hit rate {:.0}%) | \
-         total {:.0} ms = partition {:.0} ms + search {:.0} ms + memopt {:.0} ms",
+         total {:.0} ms = partition {:.0} ms + graph build {:.0} ms + search {:.0} ms + memopt {:.0} ms",
         stats.requests,
         stats.cache_hits,
         stats.cache_misses,
         stats.hit_rate() * 100.0,
         stats.planning_time.as_secs_f64() * 1e3,
         stats.partition_time.as_secs_f64() * 1e3,
+        stats.graph_build_time.as_secs_f64() * 1e3,
         stats.search_time.as_secs_f64() * 1e3,
         stats.memopt_time.as_secs_f64() * 1e3,
     );
@@ -161,6 +162,12 @@ fn main() {
         MetricKind::Info,
         "s",
         stats.planning_time.as_secs_f64(),
+    );
+    report.push(
+        "envelope.dip.graph_build_wall_s",
+        MetricKind::Info,
+        "s",
+        stats.graph_build_time.as_secs_f64(),
     );
 
     batch_planning_scaling(

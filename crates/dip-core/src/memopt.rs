@@ -415,7 +415,7 @@ mod tests {
             .collect();
         let total_latency = |plan: &MemoryPlan| -> f64 {
             let ladder_base: f64 = graph
-                .items
+                .items()
                 .iter()
                 .map(|item| {
                     let strategy = plan.get(item.stage_pair);

@@ -181,7 +181,7 @@ pub fn calibrate_eval_cost(
         let start = Instant::now();
         let (_, _, _) = evaluate(graph, &ordering, base);
         samples.push(CostSample {
-            units: graph.items.len() as u64,
+            units: graph.len() as u64,
             seconds: start.elapsed().as_secs_f64(),
         });
     }
@@ -330,7 +330,7 @@ pub fn search_ordering(
     config: &OrderingSearchConfig,
 ) -> OrderingResult {
     let start = Instant::now();
-    let quota = config.evaluation_quota(graph.items.len());
+    let quota = config.evaluation_quota(graph.len());
     let identity: Vec<usize> = (0..num_segments).collect();
     let (t0, o0, p0) = evaluate(graph, &identity, &config.dual_queue);
     let mut incumbent = WorkerOutcome {
@@ -780,7 +780,7 @@ mod tests {
         assert_eq!(result.segment_priorities.len(), n);
         assert!(result.best_time_s.is_finite() && result.best_time_s > 0.0);
         assert!(result.evaluations >= 1);
-        assert_eq!(result.orders.num_stages(), graph.items.len());
+        assert_eq!(result.orders.num_stages(), graph.len());
         // Progress is monotonically decreasing after the merge.
         for w in result.progress.windows(2) {
             assert!(w[1].best_time_s < w[0].best_time_s);
@@ -1061,9 +1061,9 @@ mod tests {
         let (graph, n) = vlm_graph(2);
         let model = calibrate_eval_cost(&graph, n, &DualQueueConfig::default(), 8)
             .expect("calibration succeeds on a real graph");
-        assert!(model.seconds(graph.items.len() as u64) > 0.0);
+        assert!(model.seconds(graph.len() as u64) > 0.0);
         // The fitted model converts budgets into finite quotas.
-        let quota = model.quota(Duration::from_millis(100), graph.items.len() as u64);
+        let quota = model.quota(Duration::from_millis(100), graph.len() as u64);
         assert!(quota > 0 && quota < u64::MAX);
     }
 

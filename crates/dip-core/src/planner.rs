@@ -114,10 +114,20 @@ impl PlannerConfig {
 pub struct PlannerStats {
     /// Wall-clock time spent planning (all phases).
     pub planning_time: Duration,
-    /// Wall-clock time of the partitioning phase (sub-microbatch planning
-    /// and stage-graph construction; includes the offline partition on the
-    /// first iteration).
+    /// Wall-clock time of the partitioning phase (sub-microbatch planning;
+    /// includes the offline partition on the first iteration). Stage-graph
+    /// construction is accounted separately in `graph_build_time`.
     pub partition_time: Duration,
+    /// Wall-clock time of the stage-graph construction phase: the one full
+    /// block-parallel expansion per plan (workload splitting, stage pricing
+    /// and dependency wiring). The later memory-plan application is an
+    /// in-place [`StageGraph::reprice`] counted under `memopt_time`.
+    pub graph_build_time: Duration,
+    /// Summed per-block task wall time of the stage-graph build (same
+    /// semantics as `search_cpu_time`): `graph_build_cpu_time /
+    /// graph_build_time` exposes the build's parallel speedup across the
+    /// `workers` knob.
+    pub graph_build_cpu_time: Duration,
     /// Wall-clock time of the schedule-search phase (§5.1–5.2).
     pub search_time: Duration,
     /// Summed per-stream task wall time of the search phase (see
@@ -128,7 +138,8 @@ pub struct PlannerStats {
     /// oversubscribe the machine.
     pub search_cpu_time: Duration,
     /// Wall-clock time of the memory-optimisation phase (§5.3), including
-    /// the graph rebuild under the chosen strategies.
+    /// the in-place reprice under the chosen strategies and the
+    /// re-interleave.
     pub memopt_time: Duration,
     /// Summed per-rank solve wall time of the memory-optimisation phase
     /// (same semantics as `search_cpu_time`). `memopt_cpu_time /
@@ -372,18 +383,28 @@ impl<'a> DipPlanner<'a> {
         let sub_plan = self
             .partitioner()
             .sub_microbatch_plan(&partition, microbatches);
+        let partition_time = start.elapsed();
 
+        // The plan's one full stage-graph expansion: workloads are split
+        // once (`prepare`), the blocks priced and wired in parallel on this
+        // plan's CPU-thread share. The memory plan chosen later is applied
+        // by an in-place reprice, never a rebuild.
+        let build_start = Instant::now();
         let builder = StageGraphBuilder::new_on(self.spec, &partition.placement, &self.topology)
-            .with_efficiency(self.config.efficiency);
-        let graph = builder
-            .build(microbatches, &sub_plan)
+            .with_efficiency(self.config.efficiency)
+            .with_workers(self.config.search.workers.max(1));
+        let prepared = builder
+            .prepare(microbatches, &sub_plan)
             .planning_context("building stage graph")?;
+        let (graph, build_stats) = builder.build_prepared(&prepared);
+        let graph_build_time = build_start.elapsed();
+        let graph_build_cpu_time = build_stats.cpu_time;
+
         let budget: Vec<u64> = self.activation_budget(&graph.static_memory);
         let base_queue = DualQueueConfig {
             memory_limit: Some(budget.clone()),
             ..DualQueueConfig::default()
         };
-        let partition_time = start.elapsed();
 
         // Phase ①+②: segment reordering + stage interleaving.
         let search_start = Instant::now();
@@ -427,9 +448,11 @@ impl<'a> DipPlanner<'a> {
 
         // Phase ③: per-layer memory optimisation — the per-rank ILPs run
         // on this plan's CPU-thread share (`search.workers`, the same
-        // budget the search phase just released) — then rebuild the graph
-        // with the chosen strategies and re-interleave with the same
-        // priorities.
+        // budget the search phase just released) — then reprice the graph
+        // in place with the chosen strategies and re-interleave with the
+        // same priorities. The reprice is bit-identical to a full rebuild
+        // (memory strategies only retime stages; dependencies and lags are
+        // untouched) at a fraction of the cost.
         let memopt_start = Instant::now();
         let (graph, orders, memory_plan, memopt_cpu_time, planned_time) =
             if self.config.enable_memory_opt {
@@ -441,12 +464,8 @@ impl<'a> DipPlanner<'a> {
                     self.config.search.workers.max(1),
                 )?;
                 let memory_plan = memopt.plan;
-                let graph =
-                    StageGraphBuilder::new_on(self.spec, &partition.placement, &self.topology)
-                        .with_efficiency(self.config.efficiency)
-                        .with_memory_plan(memory_plan.clone())
-                        .build(microbatches, &sub_plan)
-                        .planning_context("rebuilding stage graph with memory plan")?;
+                let mut graph = graph;
+                graph.reprice(&memory_plan);
                 let queue = DualQueueConfig {
                     segment_priorities: priorities.clone(),
                     ..base_queue
@@ -473,6 +492,8 @@ impl<'a> DipPlanner<'a> {
             stats: PlannerStats {
                 planning_time: start.elapsed(),
                 partition_time,
+                graph_build_time,
+                graph_build_cpu_time,
                 search_time,
                 search_cpu_time,
                 memopt_time,
@@ -549,7 +570,9 @@ mod tests {
         assert!(outcome.metrics.iteration_time_s > 0.0);
         assert!(outcome.metrics.mfu > 0.0);
         assert!(plan.stats.planning_time > Duration::ZERO);
-        assert_eq!(plan.orders.num_stages(), plan.graph.items.len());
+        assert_eq!(plan.orders.num_stages(), plan.graph.len());
+        assert!(plan.stats.graph_build_time > Duration::ZERO);
+        assert!(plan.stats.graph_build_cpu_time > Duration::ZERO);
         assert!(planner.partition_output().is_some());
     }
 

@@ -221,8 +221,15 @@ pub struct SessionStats {
     /// Cumulative wall-clock planning time (cache hits contribute only the
     /// lookup cost).
     pub planning_time: Duration,
-    /// Cumulative partitioning/stage-graph time of fresh plans.
+    /// Cumulative partitioning (sub-microbatch planning) time of fresh
+    /// plans.
     pub partition_time: Duration,
+    /// Cumulative stage-graph construction time of fresh plans (see
+    /// [`crate::PlannerStats::graph_build_time`]).
+    pub graph_build_time: Duration,
+    /// Cumulative CPU time inside the parallel graph-build blocks of fresh
+    /// plans (see [`crate::PlannerStats::graph_build_cpu_time`]).
+    pub graph_build_cpu_time: Duration,
     /// Cumulative schedule-search time of fresh plans.
     pub search_time: Duration,
     /// Cumulative CPU time inside the parallel search streams of fresh
@@ -642,6 +649,8 @@ impl<'a> PlanningSession<'a> {
         plan.stats.cache_hit = true;
         plan.stats.planning_time = start.elapsed();
         plan.stats.partition_time = Duration::ZERO;
+        plan.stats.graph_build_time = Duration::ZERO;
+        plan.stats.graph_build_cpu_time = Duration::ZERO;
         plan.stats.search_time = Duration::ZERO;
         plan.stats.memopt_time = Duration::ZERO;
         let mut stats = self.stats.lock();
@@ -704,6 +713,8 @@ impl<'a> PlanningSession<'a> {
         }
         stats.planning_time += plan.stats.planning_time;
         stats.partition_time += plan.stats.partition_time;
+        stats.graph_build_time += plan.stats.graph_build_time;
+        stats.graph_build_cpu_time += plan.stats.graph_build_cpu_time;
         stats.search_time += plan.stats.search_time;
         stats.search_cpu_time += plan.stats.search_cpu_time;
         stats.memopt_time += plan.stats.memopt_time;
@@ -1208,10 +1219,7 @@ mod tests {
         for (i, outcome) in outcomes.iter().enumerate() {
             let outcome = outcome.as_ref().expect("plan_many result");
             assert_eq!(outcome.signature, requests[i].signature());
-            assert_eq!(
-                outcome.plan.orders.num_stages(),
-                outcome.plan.graph.items.len()
-            );
+            assert_eq!(outcome.plan.orders.num_stages(), outcome.plan.graph.len());
         }
         // All four requests were served; the duplicate signature either hit
         // the cache or raced its twin, but is cached afterwards either way.

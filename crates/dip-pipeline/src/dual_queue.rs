@@ -100,16 +100,20 @@ impl PartialOrd for QueueEntry {
 /// Runs the dual-queue interleaver over a stage graph, returning the per-rank
 /// execution orders together with the scheduler's own makespan estimate.
 pub fn schedule(graph: &StageGraph, config: &DualQueueConfig) -> (RankOrders, f64) {
-    let n = graph.items.len();
+    let n = graph.len();
     let num_ranks = graph.num_ranks;
     let priority_of =
         |segment: usize| -> i64 { config.segment_priorities.get(segment).copied().unwrap_or(0) };
 
     // Dependency bookkeeping.
-    let mut remaining_deps: Vec<usize> = graph.items.iter().map(|i| i.deps.len()).collect();
+    let mut remaining_deps: Vec<usize> = graph
+        .items()
+        .iter()
+        .map(|i| graph.deps_of(i.id).len())
+        .collect();
     let mut dependents: Vec<Vec<(usize, f64)>> = vec![Vec::new(); n];
-    for item in &graph.items {
-        for (dep, lag) in &item.deps {
+    for item in graph.items() {
+        for (dep, lag) in graph.deps_of(item.id) {
             dependents[dep.0].push((item.id.0, *lag));
         }
     }
@@ -131,7 +135,7 @@ pub fn schedule(graph: &StageGraph, config: &DualQueueConfig) -> (RankOrders, f6
                       queues_b: &mut Vec<BinaryHeap<QueueEntry>>,
                       ready: &[f64],
                       idx: usize| {
-        let item = &graph.items[idx];
+        let item = graph.item(StageId(idx));
         let entry = QueueEntry {
             priority: priority_of(item.segment),
             microbatch: item.microbatch,
@@ -146,7 +150,7 @@ pub fn schedule(graph: &StageGraph, config: &DualQueueConfig) -> (RankOrders, f6
     };
 
     // Seed with stages that have no dependencies.
-    for (idx, item) in graph.items.iter().enumerate() {
+    for (idx, item) in graph.items().iter().enumerate() {
         if remaining_deps[idx] == 0 {
             push_entry(&mut fwd_queues, &mut bwd_queues, &ready_time, idx);
         }
@@ -329,9 +333,9 @@ mod tests {
     fn schedules_every_stage_exactly_once() {
         let graph = lm_graph(6, 4);
         let (orders, makespan) = schedule(&graph, &DualQueueConfig::default());
-        assert_eq!(orders.num_stages(), graph.items.len());
+        assert_eq!(orders.num_stages(), graph.len());
         assert!(makespan > 0.0);
-        let mut seen = vec![false; graph.items.len()];
+        let mut seen = vec![false; graph.len()];
         for rank_order in &orders.orders {
             for id in rank_order {
                 assert!(!seen[id.0], "stage {id:?} scheduled twice");
@@ -398,7 +402,7 @@ mod tests {
             ..DualQueueConfig::default()
         };
         let (orders, makespan) = schedule(&graph, &config);
-        assert_eq!(orders.num_stages(), graph.items.len());
+        assert_eq!(orders.num_stages(), graph.len());
         assert!(makespan.is_finite());
     }
 

@@ -64,11 +64,11 @@ pub fn execute(
             graph.num_ranks
         )));
     }
-    if orders.num_stages() != graph.items.len() {
+    if orders.num_stages() != graph.len() {
         return Err(PipelineError::Simulation(format!(
             "schedule covers {} stages, graph has {}",
             orders.num_stages(),
-            graph.items.len()
+            graph.len()
         )));
     }
 
@@ -79,7 +79,7 @@ pub fn execute(
 
     // First pass: assign engine task ids in insertion order (rank by rank,
     // following the schedule order).
-    let mut task_id_of_stage = vec![usize::MAX; graph.items.len()];
+    let mut task_id_of_stage = vec![usize::MAX; graph.len()];
     let mut next_task = 0usize;
     for rank_order in &orders.orders {
         for stage in rank_order {
@@ -114,7 +114,7 @@ pub fn execute(
                     task.mem_at_end = -(item.activation_bytes as i64);
                 }
             }
-            for (dep, lag) in &item.deps {
+            for (dep, lag) in graph.deps_of(item.id) {
                 task = task.after(dip_sim::TaskId(task_id_of_stage[dep.0]), *lag);
             }
             engine.add_task(task);

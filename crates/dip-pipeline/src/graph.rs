@@ -7,13 +7,30 @@
 //! (§4). Schedulers (the baselines' 1F1B and DIP's dual-queue interleaver)
 //! then decide the *order* in which each rank executes its stages; the data
 //! dependencies themselves never change.
+//!
+//! # Arena layout
+//!
+//! Graphs are backed by a flat arena (`StageArena`): one [`WorkItem`] slab, one
+//! CSR-style dependency slab (a flat edge list plus an offset table,
+//! [`StageGraph::deps_of`]), and the cached **pre-strategy** stage timings
+//! per (forward, backward) pair. Item ids are pure arithmetic: the items of
+//! one `(segment, microbatch)` block occupy a contiguous id range whose
+//! start is known from the [`SubMicrobatchPlan`] alone, so
+//! [`StageGraph::lookup`] is O(1) — no tree index — and the blocks can be
+//! expanded **in parallel** ([`StageGraphBuilder::with_workers`]) with a
+//! deterministic index-order merge that is byte-identical to the serial
+//! build at any worker count. The cached base timings let
+//! [`StageGraph::reprice`] apply a [`MemoryPlan`] in place, bit-identical
+//! to a full rebuild, so the planner never expands the graph twice.
 
+use crate::par::parallel_map_indexed;
 use crate::placement::{PipelineError, Placement};
-use crate::strategy::{MemoryPlan, MemoryStrategy};
+use crate::strategy::MemoryPlan;
 use dip_models::{BatchWorkload, LmmSpec, ModalityWorkload, ModuleId, BF16_BYTES};
 use dip_sim::{ClusterSpec, ClusterTopology, EfficiencyModel, StageTiming, TimingModel};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
+use std::time::{Duration, Instant};
 
 /// Identifier of a stage execution (a [`WorkItem`]) within a [`StageGraph`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
@@ -30,6 +47,9 @@ pub enum Direction {
 
 /// One stage execution: a chunk of one pipeline segment processing one
 /// sub-microbatch in one direction on one rank.
+///
+/// Data dependencies live in the graph's CSR slab, not on the item: see
+/// [`StageGraph::deps_of`].
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct WorkItem {
     /// The item's id.
@@ -50,8 +70,6 @@ pub struct WorkItem {
     pub activation_bytes: u64,
     /// Bytes sent to the consumer stage (output activation).
     pub p2p_bytes: u64,
-    /// Data dependencies: `(producer, communication lag in seconds)`.
-    pub deps: Vec<(StageId, f64)>,
     /// Identifier of the (forward, backward) stage pair this item belongs to,
     /// used to key [`MemoryPlan`] choices.
     pub stage_pair: usize,
@@ -108,13 +126,35 @@ impl SubMicrobatchPlan {
     }
 }
 
+/// Flat arena storage backing a [`StageGraph`]: the item slab, the CSR
+/// dependency slab (`deps` + `dep_offsets`), and the cached pre-strategy
+/// [`StageTiming`] of every (forward, backward) stage pair — the state
+/// [`StageGraph::reprice`] rewrites durations from. Compact, cache-friendly
+/// and trivially serializable (three flat vectors, no pointers or trees).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct StageArena {
+    /// Every stage execution, in id order (two per stage pair:
+    /// `fwd = 2 * pair`, `bwd = 2 * pair + 1`).
+    items: Vec<WorkItem>,
+    /// Flat dependency slab: item `i`'s dependencies are
+    /// `deps[dep_offsets[i] .. dep_offsets[i + 1]]`.
+    deps: Vec<(StageId, f64)>,
+    /// CSR offset table, length `items.len() + 1`.
+    dep_offsets: Vec<usize>,
+    /// The **pre-strategy** timing of each stage pair (what the hosting
+    /// rank's device charges with everything kept resident), in stage-pair
+    /// order. [`StageGraph::reprice`] re-applies a [`MemoryPlan`] to these.
+    base_timings: Vec<StageTiming>,
+}
+
 /// The stage graph of one training iteration.
+///
+/// Items and dependencies live in a flat arena (`StageArena`); coordinates
+/// map to ids by pure arithmetic (see [`StageGraph::lookup`]).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct StageGraph {
     /// Number of pipeline ranks.
     pub num_ranks: usize,
-    /// Every stage execution.
-    pub items: Vec<WorkItem>,
     /// Number of (forward, backward) stage pairs.
     pub num_stage_pairs: usize,
     /// Static memory (parameters, gradients, optimizer state) per rank, bytes.
@@ -123,13 +163,26 @@ pub struct StageGraph {
     pub model_flops: f64,
     /// Parameter bytes per rank (bf16), used for gradient all-reduce sizing.
     pub param_bytes_per_rank: Vec<u64>,
-    /// Index: `(segment, microbatch, sub_microbatch, rank)` → (fwd, bwd) ids.
-    index: BTreeMap<(usize, usize, usize, usize), (StageId, StageId)>,
+    /// The flat item/dependency arena.
+    arena: StageArena,
+    /// Number of pipeline segments covered by the graph.
+    num_segments: usize,
+    /// Number of microbatches covered by the graph.
+    num_microbatches: usize,
+    /// Sub-microbatch count of each `(segment, microbatch)` block,
+    /// row-major (`segment * num_microbatches + microbatch`).
+    block_splits: Vec<usize>,
+    /// Stage pairs preceding each block (same indexing; one extra trailing
+    /// entry = `num_stage_pairs`). `pair(s, m, j, r) = pair_offsets[s * M +
+    /// m] + j * pp + r` — the arithmetic index replacing the former
+    /// coordinate tree.
+    pair_offsets: Vec<usize>,
 }
 
 impl StageGraph {
     /// The forward/backward item ids for a `(segment, microbatch,
-    /// sub_microbatch, rank)` coordinate, if present.
+    /// sub_microbatch, rank)` coordinate, if present. O(1): the id is
+    /// arithmetic in the coordinate and the block offset table.
     pub fn lookup(
         &self,
         segment: usize,
@@ -137,9 +190,30 @@ impl StageGraph {
         sub_microbatch: usize,
         rank: usize,
     ) -> Option<(StageId, StageId)> {
-        self.index
-            .get(&(segment, microbatch, sub_microbatch, rank))
-            .copied()
+        if segment >= self.num_segments || microbatch >= self.num_microbatches {
+            return None;
+        }
+        let block = segment * self.num_microbatches + microbatch;
+        if sub_microbatch >= self.block_splits[block] || rank >= self.num_ranks {
+            return None;
+        }
+        let pair = self.pair_offsets[block] + sub_microbatch * self.num_ranks + rank;
+        Some((StageId(2 * pair), StageId(2 * pair + 1)))
+    }
+
+    /// Every stage execution, in id order.
+    pub fn items(&self) -> &[WorkItem] {
+        &self.arena.items
+    }
+
+    /// Number of stage executions (items) in the graph.
+    pub fn len(&self) -> usize {
+        self.arena.items.len()
+    }
+
+    /// True when the graph has no stage executions.
+    pub fn is_empty(&self) -> bool {
+        self.arena.items.is_empty()
     }
 
     /// The item with the given id.
@@ -148,19 +222,30 @@ impl StageGraph {
     ///
     /// Panics if the id is out of range.
     pub fn item(&self, id: StageId) -> &WorkItem {
-        &self.items[id.0]
+        &self.arena.items[id.0]
+    }
+
+    /// The data dependencies of the item with the given id:
+    /// `(producer, communication lag in seconds)` pairs, read straight from
+    /// the CSR slab.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn deps_of(&self, id: StageId) -> &[(StageId, f64)] {
+        &self.arena.deps[self.arena.dep_offsets[id.0]..self.arena.dep_offsets[id.0 + 1]]
     }
 
     /// Iterator over items on a given rank.
     pub fn items_on_rank(&self, rank: usize) -> impl Iterator<Item = &WorkItem> {
-        self.items.iter().filter(move |i| i.rank == rank)
+        self.arena.items.iter().filter(move |i| i.rank == rank)
     }
 
     /// Total compute time (sum of all stage durations) per rank — a lower
     /// bound on that rank's busy time.
     pub fn compute_time_per_rank(&self) -> Vec<f64> {
         let mut t = vec![0.0; self.num_ranks];
-        for item in &self.items {
+        for item in &self.arena.items {
             t[item.rank] += item.duration;
         }
         t
@@ -170,6 +255,63 @@ impl StageGraph {
     pub fn critical_rank_time(&self) -> f64 {
         self.compute_time_per_rank().into_iter().fold(0.0, f64::max)
     }
+
+    /// Re-applies a [`MemoryPlan`] in place: every stage pair's forward and
+    /// backward durations and resident activation bytes are rewritten from
+    /// the cached pre-strategy base timing. Dependencies and communication
+    /// lags are untouched — a [`crate::MemoryStrategy`] never changes a
+    /// stage's `p2p_bytes` — so the result is **bit-identical to a full
+    /// rebuild** with [`StageGraphBuilder::with_memory_plan`] at a fraction
+    /// of the cost (no re-pricing, no dependency wiring).
+    pub fn reprice(&mut self, plan: &MemoryPlan) {
+        for pair in 0..self.num_stage_pairs {
+            let adjusted = plan.get(pair).apply(&self.arena.base_timings[pair]);
+            let fwd = &mut self.arena.items[2 * pair];
+            fwd.duration = adjusted.fwd_s;
+            fwd.activation_bytes = adjusted.activation_bytes;
+            let bwd = &mut self.arena.items[2 * pair + 1];
+            bwd.duration = adjusted.bwd_s;
+            bwd.activation_bytes = adjusted.activation_bytes;
+        }
+    }
+}
+
+/// Cost accounting of one stage-graph build.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct GraphBuildStats {
+    /// Summed per-block task wall time across both build phases (item
+    /// expansion and dependency wiring). Divided by the caller's wall-clock
+    /// measurement this exposes the build's parallel speedup, with the same
+    /// semantics as the planner's `search_cpu_time` / `memopt_cpu_time`.
+    pub cpu_time: Duration,
+}
+
+/// Everything [`StageGraphBuilder::build_prepared`] needs that depends only
+/// on the workloads and the sub-microbatch plan: validated split counts,
+/// the per-block stage-pair offsets of the arithmetic index, the split
+/// per-module workloads of every `(segment, microbatch)` block, and the
+/// per-(segment, rank) output-module lookup. Computing it once per `plan()`
+/// (or per baseline iteration) and reusing it across builds removes the
+/// duplicated per-build workload splitting the two-build planner path used
+/// to pay.
+#[derive(Debug, Clone)]
+pub struct PreparedWorkloads {
+    num_microbatches: usize,
+    /// Sub-microbatch count per `(segment, microbatch)` block, row-major.
+    block_splits: Vec<usize>,
+    /// Stage pairs preceding each block (+ trailing total).
+    pair_offsets: Vec<usize>,
+    /// Per-module workloads of each sub-microbatch of each block.
+    sub_workloads: Vec<Vec<BTreeMap<ModuleId, ModalityWorkload>>>,
+    /// The module whose workload sizes each `(segment, rank)` chunk's
+    /// output transfer: the last chunk piece's module (every piece module
+    /// is a key of the block's sub-workload maps, so this equals the former
+    /// reverse scan over the pieces).
+    output_module: Vec<Vec<Option<ModuleId>>>,
+    /// Whether each segment continues the previous segment's module.
+    same_module_as_prev: Vec<bool>,
+    /// Useful model FLOPs summed over the microbatches.
+    model_flops: f64,
 }
 
 /// Builder for [`StageGraph`].
@@ -179,6 +321,11 @@ impl StageGraph {
 /// communication edge is charged at the actual link between the two ranks
 /// ([`ClusterTopology::link_bandwidth`] — NVLink inside a node, the
 /// inter-node network across nodes, per edge rather than per cluster).
+///
+/// Construction is block-parallel: the `(segment, microbatch)` blocks are
+/// priced and dependency-wired on up to [`StageGraphBuilder::with_workers`]
+/// threads and merged in index order, so the graph is byte-identical to the
+/// serial build at any worker count.
 ///
 /// ```
 /// use dip_models::{zoo, BatchWorkload, Modality, ModalityWorkload};
@@ -210,6 +357,7 @@ pub struct StageGraphBuilder<'a> {
     timing_override: Option<TimingModel>,
     memory_plan: MemoryPlan,
     loss_latency: f64,
+    workers: usize,
 }
 
 impl<'a> StageGraphBuilder<'a> {
@@ -231,6 +379,7 @@ impl<'a> StageGraphBuilder<'a> {
             timing_override: None,
             memory_plan: MemoryPlan::new(),
             loss_latency: 1e-3,
+            workers: 1,
         }
     }
 
@@ -254,6 +403,16 @@ impl<'a> StageGraphBuilder<'a> {
         self
     }
 
+    /// Expands the graph's `(segment, microbatch)` blocks on up to
+    /// `workers` threads. Purely a throughput knob: the blocks are pure
+    /// functions of their index and are merged in index order, so the built
+    /// graph is byte-identical at any worker count (the planner threads its
+    /// per-plan CPU share through here, like the search and memopt phases).
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
     /// The timing model pricing stages of pipeline rank `rank`.
     fn rank_timing(&self, rank: usize, tp: usize) -> TimingModel {
         self.timing_override
@@ -271,26 +430,26 @@ impl<'a> StageGraphBuilder<'a> {
         }
     }
 
-    /// Builds the stage graph for the given microbatch workloads and
-    /// sub-microbatch plan.
+    /// Validates the inputs and splits the per-microbatch workloads once:
+    /// the reusable, build-independent half of [`StageGraphBuilder::build`].
+    /// Callers constructing several graphs over the same workloads (or
+    /// repricing one with [`StageGraph::reprice`]) pay this exactly once.
     ///
     /// # Errors
     ///
     /// Returns [`PipelineError::InconsistentSubMicrobatches`] if two
     /// consecutive segments of the same module disagree on their split
     /// counts, and [`PipelineError::InvalidConfig`] for empty inputs.
-    pub fn build(
+    pub fn prepare(
         &self,
         microbatches: &[BatchWorkload],
         plan: &SubMicrobatchPlan,
-    ) -> Result<StageGraph, PipelineError> {
+    ) -> Result<PreparedWorkloads, PipelineError> {
         if microbatches.is_empty() {
             return Err(PipelineError::InvalidConfig(
                 "at least one microbatch is required".into(),
             ));
         }
-        let parallel = self.placement.parallel;
-        let pp = parallel.pp;
         let segments = &self.placement.segments;
         if segments.is_empty() {
             return Err(PipelineError::InvalidConfig(
@@ -308,9 +467,8 @@ impl<'a> StageGraphBuilder<'a> {
             }
         }
 
-        let mut items: Vec<WorkItem> = Vec::new();
-        let mut index: BTreeMap<(usize, usize, usize, usize), (StageId, StageId)> = BTreeMap::new();
-        let mut stage_pair = 0usize;
+        let num_microbatches = microbatches.len();
+        let pp = self.placement.parallel.pp;
 
         // Pre-compute per-microbatch module workloads.
         let module_workloads: Vec<BTreeMap<ModuleId, ModalityWorkload>> = microbatches
@@ -318,6 +476,10 @@ impl<'a> StageGraphBuilder<'a> {
             .map(|b| self.spec.module_workloads(b).into_iter().collect())
             .collect();
 
+        let mut block_splits = Vec::with_capacity(segments.len() * num_microbatches);
+        let mut pair_offsets = Vec::with_capacity(segments.len() * num_microbatches + 1);
+        let mut sub_workloads = Vec::with_capacity(segments.len() * num_microbatches);
+        let mut pairs = 0usize;
         for (s, segment) in segments.iter().enumerate() {
             for (m, workloads) in module_workloads.iter().enumerate() {
                 let splits = if segment.module.is_some() {
@@ -325,130 +487,249 @@ impl<'a> StageGraphBuilder<'a> {
                 } else {
                     1
                 };
-                // Per-module workloads of each sub-microbatch of this segment.
-                let sub_workloads: Vec<BTreeMap<ModuleId, ModalityWorkload>> =
-                    split_segment_workloads(segment.modules(), workloads, splits);
-
-                for (j, sub) in sub_workloads.iter().enumerate() {
-                    for r in 0..pp {
-                        let chunk = &segment.chunks[r];
-                        let cost = chunk.cost(self.spec, sub, parallel.tp);
-                        let out_tokens = chunk
-                            .pieces
-                            .iter()
-                            .rev()
-                            .find_map(|p| sub.get(&p.module).map(|w| w.tokens))
-                            .unwrap_or(0);
-                        let p2p_bytes =
-                            out_tokens * chunk.output_dim(self.spec) as u64 * BF16_BYTES;
-                        let base = self
-                            .rank_timing(r, parallel.tp)
-                            .stage_timing(&cost, p2p_bytes);
-                        let strategy: MemoryStrategy = self.memory_plan.get(stage_pair);
-                        let adjusted: StageTiming = strategy.apply(&base);
-
-                        let fwd_id = StageId(items.len());
-                        let bwd_id = StageId(items.len() + 1);
-                        items.push(WorkItem {
-                            id: fwd_id,
-                            segment: s,
-                            microbatch: m,
-                            sub_microbatch: j,
-                            rank: r,
-                            direction: Direction::Forward,
-                            duration: adjusted.fwd_s,
-                            activation_bytes: adjusted.activation_bytes,
-                            p2p_bytes,
-                            deps: Vec::new(),
-                            stage_pair,
-                        });
-                        items.push(WorkItem {
-                            id: bwd_id,
-                            segment: s,
-                            microbatch: m,
-                            sub_microbatch: j,
-                            rank: r,
-                            direction: Direction::Backward,
-                            duration: adjusted.bwd_s,
-                            activation_bytes: adjusted.activation_bytes,
-                            p2p_bytes,
-                            deps: vec![(fwd_id, 0.0)],
-                            stage_pair,
-                        });
-                        index.insert((s, m, j, r), (fwd_id, bwd_id));
-                        stage_pair += 1;
-                    }
-                }
+                block_splits.push(splits);
+                pair_offsets.push(pairs);
+                pairs += splits * pp;
+                sub_workloads.push(split_segment_workloads(
+                    segment.modules(),
+                    workloads,
+                    splits,
+                ));
             }
         }
+        pair_offsets.push(pairs);
 
-        // Wire the data dependencies, charging every edge at the link between
-        // the producing and consuming ranks.
-        let p2p_lag =
-            |bytes: u64, from: usize, to: usize| self.edge_lag(bytes, from, to, parallel.tp);
-        let mut extra_deps: Vec<(StageId, StageId, f64)> = Vec::new();
-        let last_segment = segments.len() - 1;
-        for (&(s, m, j, r), &(fwd_id, bwd_id)) in &index {
-            // Forward chain within the segment.
-            if r > 0 {
-                let (prev_fwd, _) = index[&(s, m, j, r - 1)];
-                let lag = p2p_lag(items[prev_fwd.0].p2p_bytes, r - 1, r);
-                extra_deps.push((fwd_id, prev_fwd, lag));
-            } else if s > 0 {
-                // First rank depends on the previous segment's last rank; the
-                // edge wraps from rank pp-1 back to rank 0.
-                let prev_same_module =
-                    segments[s].module.is_some() && segments[s].module == segments[s - 1].module;
-                if prev_same_module {
-                    let (prev_fwd, _) = index[&(s - 1, m, j, pp - 1)];
-                    let lag = p2p_lag(items[prev_fwd.0].p2p_bytes, pp - 1, 0);
-                    extra_deps.push((fwd_id, prev_fwd, lag));
-                } else {
-                    // Cross-module boundary: wait for every sub-microbatch of
-                    // the producer segment.
-                    let mut jp = 0;
-                    while let Some(&(prev_fwd, _)) = index.get(&(s - 1, m, jp, pp - 1)) {
-                        let lag = p2p_lag(items[prev_fwd.0].p2p_bytes, pp - 1, 0);
-                        extra_deps.push((fwd_id, prev_fwd, lag));
-                        jp += 1;
-                    }
-                }
-            }
+        // The module sizing each chunk's output transfer is the last piece's
+        // module: every piece module is in `segment.modules()`, which is
+        // exactly the key set `split_segment_workloads` populates, so the
+        // old reverse find-first-known scan always stopped at the last
+        // piece. Precomputed once instead of per (sub-microbatch × rank).
+        let output_module: Vec<Vec<Option<ModuleId>>> = segments
+            .iter()
+            .map(|segment| {
+                segment
+                    .chunks
+                    .iter()
+                    .map(|chunk| chunk.pieces.last().map(|p| p.module))
+                    .collect()
+            })
+            .collect();
 
-            // Backward chain within the segment (reverse rank order).
-            if r < pp - 1 {
-                let (_, next_bwd) = index[&(s, m, j, r + 1)];
-                let lag = p2p_lag(items[fwd_id.0].p2p_bytes, r + 1, r);
-                extra_deps.push((bwd_id, next_bwd, lag));
-            } else if s == last_segment {
-                // Loss boundary: backward of the last stage follows its own
-                // forward after the loss computation.
-                extra_deps.push((bwd_id, fwd_id, self.loss_latency));
-            } else {
-                let next_same_module =
-                    segments[s].module.is_some() && segments[s].module == segments[s + 1].module;
-                if next_same_module {
-                    let (_, next_bwd) = index[&(s + 1, m, j, 0)];
-                    let lag = p2p_lag(items[fwd_id.0].p2p_bytes, 0, pp - 1);
-                    extra_deps.push((bwd_id, next_bwd, lag));
-                } else {
-                    let mut jn = 0;
-                    while let Some(&(_, next_bwd)) = index.get(&(s + 1, m, jn, 0)) {
-                        let lag = p2p_lag(items[fwd_id.0].p2p_bytes, 0, pp - 1);
-                        extra_deps.push((bwd_id, next_bwd, lag));
-                        jn += 1;
-                    }
-                }
-            }
-        }
-        for (item, dep, lag) in extra_deps {
-            items[item.0].deps.push((dep, lag));
-        }
+        let same_module_as_prev: Vec<bool> = segments
+            .iter()
+            .enumerate()
+            .map(|(s, segment)| {
+                s > 0 && segment.module.is_some() && segment.module == segments[s - 1].module
+            })
+            .collect();
 
         let model_flops: f64 = microbatches.iter().map(|b| self.spec.model_flops(b)).sum();
+
+        Ok(PreparedWorkloads {
+            num_microbatches,
+            block_splits,
+            pair_offsets,
+            sub_workloads,
+            output_module,
+            same_module_as_prev,
+            model_flops,
+        })
+    }
+
+    /// Builds the stage graph for the given microbatch workloads and
+    /// sub-microbatch plan.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PipelineError::InconsistentSubMicrobatches`] if two
+    /// consecutive segments of the same module disagree on their split
+    /// counts, and [`PipelineError::InvalidConfig`] for empty inputs.
+    pub fn build(
+        &self,
+        microbatches: &[BatchWorkload],
+        plan: &SubMicrobatchPlan,
+    ) -> Result<StageGraph, PipelineError> {
+        let prepared = self.prepare(microbatches, plan)?;
+        Ok(self.build_prepared(&prepared).0)
+    }
+
+    /// Like [`StageGraphBuilder::build`], but also reports the build's CPU
+    /// accounting (summed per-block task wall time).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`StageGraphBuilder::build`].
+    pub fn build_detailed(
+        &self,
+        microbatches: &[BatchWorkload],
+        plan: &SubMicrobatchPlan,
+    ) -> Result<(StageGraph, GraphBuildStats), PipelineError> {
+        let prepared = self.prepare(microbatches, plan)?;
+        Ok(self.build_prepared(&prepared))
+    }
+
+    /// Expands a validated [`PreparedWorkloads`] into a stage graph: phase A
+    /// prices every `(segment, microbatch)` block's items, phase B gathers
+    /// every item's dependencies, both block-parallel with a deterministic
+    /// index-order merge into the flat arena.
+    pub fn build_prepared(&self, prepared: &PreparedWorkloads) -> (StageGraph, GraphBuildStats) {
+        let parallel = self.placement.parallel;
+        let pp = parallel.pp;
+        let tp = parallel.tp;
+        let segments = &self.placement.segments;
+        let m_count = prepared.num_microbatches;
+        let num_blocks = segments.len() * m_count;
+        let num_stage_pairs = *prepared.pair_offsets.last().expect("offset table");
+
+        // Phase A: price every block's items. Each block's item ids are
+        // arithmetic (`fwd = 2 * pair`, `bwd = 2 * pair + 1`, pairs
+        // contiguous per block), so blocks build globally-correct items
+        // independently; the merge is plain index-order concatenation.
+        let priced = parallel_map_indexed(num_blocks, self.workers, |block| {
+            let task_start = Instant::now();
+            let s = block / m_count;
+            let segment = &segments[s];
+            let pair_base = prepared.pair_offsets[block];
+            let splits = prepared.block_splits[block];
+            let mut items = Vec::with_capacity(2 * splits * pp);
+            let mut bases = Vec::with_capacity(splits * pp);
+            for (j, sub) in prepared.sub_workloads[block].iter().enumerate() {
+                for (r, chunk) in segment.chunks.iter().enumerate() {
+                    let cost = chunk.cost(self.spec, sub, tp);
+                    let out_tokens = prepared.output_module[s][r]
+                        .and_then(|module| sub.get(&module))
+                        .map(|w| w.tokens)
+                        .unwrap_or(0);
+                    let p2p_bytes = out_tokens * chunk.output_dim(self.spec) as u64 * BF16_BYTES;
+                    let base = self.rank_timing(r, tp).stage_timing(&cost, p2p_bytes);
+                    let stage_pair = pair_base + j * pp + r;
+                    let adjusted = self.memory_plan.get(stage_pair).apply(&base);
+                    let m = block % m_count;
+                    items.push(WorkItem {
+                        id: StageId(2 * stage_pair),
+                        segment: s,
+                        microbatch: m,
+                        sub_microbatch: j,
+                        rank: r,
+                        direction: Direction::Forward,
+                        duration: adjusted.fwd_s,
+                        activation_bytes: adjusted.activation_bytes,
+                        p2p_bytes,
+                        stage_pair,
+                    });
+                    items.push(WorkItem {
+                        id: StageId(2 * stage_pair + 1),
+                        segment: s,
+                        microbatch: m,
+                        sub_microbatch: j,
+                        rank: r,
+                        direction: Direction::Backward,
+                        duration: adjusted.bwd_s,
+                        activation_bytes: adjusted.activation_bytes,
+                        p2p_bytes,
+                        stage_pair,
+                    });
+                    bases.push(base);
+                }
+            }
+            (items, bases, task_start.elapsed())
+        });
+
+        let mut cpu_time = Duration::ZERO;
+        let mut items: Vec<WorkItem> = Vec::with_capacity(2 * num_stage_pairs);
+        let mut base_timings: Vec<StageTiming> = Vec::with_capacity(num_stage_pairs);
+        for (block_items, bases, cpu) in priced {
+            items.extend(block_items);
+            base_timings.extend(bases);
+            cpu_time += cpu;
+        }
+
+        // Phase B: gather every item's dependencies. Each dependency is a
+        // pure function of the item's coordinate plus the producer's
+        // `p2p_bytes` (available after phase A), so blocks wire themselves
+        // independently too. Per-item dependency order matches the former
+        // serial wiring: a backward's own forward first, then the chain
+        // edges in sub-microbatch order.
+        let fwd_id = |s: usize, m: usize, j: usize, r: usize| -> usize {
+            2 * (prepared.pair_offsets[s * m_count + m] + j * pp + r)
+        };
+        let last_segment = segments.len() - 1;
+        let wired = parallel_map_indexed(num_blocks, self.workers, |block| {
+            let task_start = Instant::now();
+            let s = block / m_count;
+            let m = block % m_count;
+            let splits = prepared.block_splits[block];
+            let mut deps: Vec<Vec<(StageId, f64)>> = Vec::with_capacity(2 * splits * pp);
+            for j in 0..splits {
+                for r in 0..pp {
+                    let fwd = fwd_id(s, m, j, r);
+                    // Forward chain within the segment.
+                    let mut fwd_deps = Vec::new();
+                    if r > 0 {
+                        let prev = fwd_id(s, m, j, r - 1);
+                        let lag = self.edge_lag(items[prev].p2p_bytes, r - 1, r, tp);
+                        fwd_deps.push((StageId(prev), lag));
+                    } else if s > 0 {
+                        // First rank depends on the previous segment's last
+                        // rank; the edge wraps from rank pp-1 back to rank 0.
+                        if prepared.same_module_as_prev[s] {
+                            let prev = fwd_id(s - 1, m, j, pp - 1);
+                            let lag = self.edge_lag(items[prev].p2p_bytes, pp - 1, 0, tp);
+                            fwd_deps.push((StageId(prev), lag));
+                        } else {
+                            // Cross-module boundary: wait for every
+                            // sub-microbatch of the producer segment.
+                            for jp in 0..prepared.block_splits[(s - 1) * m_count + m] {
+                                let prev = fwd_id(s - 1, m, jp, pp - 1);
+                                let lag = self.edge_lag(items[prev].p2p_bytes, pp - 1, 0, tp);
+                                fwd_deps.push((StageId(prev), lag));
+                            }
+                        }
+                    }
+                    // Backward chain within the segment (reverse rank order).
+                    let mut bwd_deps = vec![(StageId(fwd), 0.0)];
+                    if r < pp - 1 {
+                        let next_bwd = fwd_id(s, m, j, r + 1) + 1;
+                        let lag = self.edge_lag(items[fwd].p2p_bytes, r + 1, r, tp);
+                        bwd_deps.push((StageId(next_bwd), lag));
+                    } else if s == last_segment {
+                        // Loss boundary: backward of the last stage follows
+                        // its own forward after the loss computation.
+                        bwd_deps.push((StageId(fwd), self.loss_latency));
+                    } else if prepared.same_module_as_prev[s + 1] {
+                        let next_bwd = fwd_id(s + 1, m, j, 0) + 1;
+                        let lag = self.edge_lag(items[fwd].p2p_bytes, 0, pp - 1, tp);
+                        bwd_deps.push((StageId(next_bwd), lag));
+                    } else {
+                        for jn in 0..prepared.block_splits[(s + 1) * m_count + m] {
+                            let next_bwd = fwd_id(s + 1, m, jn, 0) + 1;
+                            let lag = self.edge_lag(items[fwd].p2p_bytes, 0, pp - 1, tp);
+                            bwd_deps.push((StageId(next_bwd), lag));
+                        }
+                    }
+                    deps.push(fwd_deps);
+                    deps.push(bwd_deps);
+                }
+            }
+            (deps, task_start.elapsed())
+        });
+
+        // Index-order merge into the CSR slab: block order × in-block order
+        // equals item-id order, so offsets are a running concatenation.
+        let mut deps: Vec<(StageId, f64)> = Vec::new();
+        let mut dep_offsets: Vec<usize> = Vec::with_capacity(items.len() + 1);
+        dep_offsets.push(0);
+        for (block_deps, cpu) in wired {
+            for item_deps in block_deps {
+                deps.extend(item_deps);
+                dep_offsets.push(deps.len());
+            }
+            cpu_time += cpu;
+        }
+
         let static_memory = self.placement.static_memory_per_rank(self.spec);
         let param_bytes_per_rank: Vec<u64> = {
-            let tp = parallel.tp.max(1) as u64;
+            let tp = tp.max(1) as u64;
             let mut per_rank = vec![0u64; pp];
             for seg in segments {
                 for (rank, chunk) in seg.chunks.iter().enumerate() {
@@ -458,15 +739,26 @@ impl<'a> StageGraphBuilder<'a> {
             per_rank
         };
 
-        Ok(StageGraph {
-            num_ranks: pp,
-            items,
-            num_stage_pairs: stage_pair,
-            static_memory,
-            model_flops,
-            param_bytes_per_rank,
-            index,
-        })
+        (
+            StageGraph {
+                num_ranks: pp,
+                num_stage_pairs,
+                static_memory,
+                model_flops: prepared.model_flops,
+                param_bytes_per_rank,
+                arena: StageArena {
+                    items,
+                    deps,
+                    dep_offsets,
+                    base_timings,
+                },
+                num_segments: segments.len(),
+                num_microbatches: m_count,
+                block_splits: prepared.block_splits.clone(),
+                pair_offsets: prepared.pair_offsets.clone(),
+            },
+            GraphBuildStats { cpu_time },
+        )
     }
 }
 
@@ -494,6 +786,7 @@ mod tests {
     use super::*;
     use crate::partition::{balanced_param_placement, separated_placement};
     use crate::placement::ParallelConfig;
+    use crate::strategy::MemoryStrategy;
     use dip_models::{zoo, Modality};
 
     fn vlm_batch() -> BatchWorkload {
@@ -517,7 +810,7 @@ mod tests {
         let plan = SubMicrobatchPlan::uniform(placement.segments.len(), batches.len());
         let graph = builder.build(&batches, &plan).unwrap();
         // 1 segment × 4 microbatches × 4 ranks × 2 directions.
-        assert_eq!(graph.items.len(), 32);
+        assert_eq!(graph.len(), 32);
         assert_eq!(graph.num_stage_pairs, 16);
         assert_eq!(graph.num_ranks, 4);
         assert!(graph.model_flops > 0.0);
@@ -543,11 +836,10 @@ mod tests {
         let graph = builder.build(&batches, &plan).unwrap();
         // Segment 0: 3 sub-mb × 2 mb × 4 ranks × 2 = 48 items; segments 1–3:
         // 1 sub-mb × 2 mb × 4 ranks × 2 = 16 items each.
-        assert_eq!(graph.items.len(), 48 + 3 * 16);
+        assert_eq!(graph.len(), 48 + 3 * 16);
         // Sub-microbatches of the encoder feed the adapter's single one.
         let (adapter_fwd, _) = graph.lookup(1, 0, 0, 0).unwrap();
-        let deps = &graph.item(adapter_fwd).deps;
-        assert_eq!(deps.len(), 3);
+        assert_eq!(graph.deps_of(adapter_fwd).len(), 3);
     }
 
     #[test]
@@ -593,10 +885,9 @@ mod tests {
         let plan = SubMicrobatchPlan::uniform(1, 1);
         let graph = builder.build(&batches, &plan).unwrap();
         let (fwd, bwd) = graph.lookup(0, 0, 0, 1).unwrap();
-        let bwd_item = graph.item(bwd);
-        assert!(bwd_item.deps.iter().any(|(d, _)| *d == fwd));
+        assert!(graph.deps_of(bwd).iter().any(|(d, _)| *d == fwd));
         assert_eq!(graph.item(fwd).direction, Direction::Forward);
-        assert_eq!(bwd_item.direction, Direction::Backward);
+        assert_eq!(graph.item(bwd).direction, Direction::Backward);
     }
 
     #[test]
@@ -607,5 +898,137 @@ mod tests {
         assert_eq!(plan.num_segments(), 2);
         let table = SubMicrobatchPlan::from_table(vec![vec![4, 2]]);
         assert_eq!(table.splits(0, 1), 2);
+    }
+
+    #[test]
+    fn arithmetic_lookup_matches_item_coordinates() {
+        let spec = zoo::vlm_s();
+        let parallel = ParallelConfig::new(4, 4, 1);
+        let mut k = BTreeMap::new();
+        k.insert(spec.backbone_id().unwrap(), 2usize);
+        let placement = separated_placement(&spec, parallel, &k);
+        let cluster = cluster();
+        let builder = StageGraphBuilder::new(&spec, &placement, &cluster);
+        let batches = vec![vlm_batch(); 3];
+        let mut plan = SubMicrobatchPlan::uniform(placement.segments.len(), batches.len());
+        plan.set(0, 1, 2);
+        let graph = builder.build(&batches, &plan).unwrap();
+        // Every item is found at its own coordinate, with matching direction.
+        for item in graph.items() {
+            let (fwd, bwd) = graph
+                .lookup(
+                    item.segment,
+                    item.microbatch,
+                    item.sub_microbatch,
+                    item.rank,
+                )
+                .expect("own coordinate resolves");
+            match item.direction {
+                Direction::Forward => assert_eq!(fwd, item.id),
+                Direction::Backward => assert_eq!(bwd, item.id),
+            }
+            assert_eq!(item.id.0 / 2, item.stage_pair);
+        }
+        // Out-of-range coordinates miss.
+        assert!(graph.lookup(99, 0, 0, 0).is_none());
+        assert!(graph.lookup(0, 99, 0, 0).is_none());
+        assert!(graph.lookup(0, 0, 99, 0).is_none());
+        assert!(graph.lookup(0, 0, 0, 99).is_none());
+    }
+
+    #[test]
+    fn parallel_build_is_bit_identical_to_serial() {
+        let spec = zoo::vlm_s();
+        let parallel = ParallelConfig::new(4, 4, 1);
+        let mut k = BTreeMap::new();
+        k.insert(spec.backbone_id().unwrap(), 2usize);
+        let placement = separated_placement(&spec, parallel, &k);
+        let cluster = cluster();
+        let batches = vec![vlm_batch(); 4];
+        let mut plan = SubMicrobatchPlan::uniform(placement.segments.len(), batches.len());
+        for m in 0..batches.len() {
+            plan.set(0, m, 3);
+        }
+        let serial = StageGraphBuilder::new(&spec, &placement, &cluster)
+            .build(&batches, &plan)
+            .unwrap();
+        for workers in [2usize, 4, 8, 64] {
+            let wide = StageGraphBuilder::new(&spec, &placement, &cluster)
+                .with_workers(workers)
+                .build(&batches, &plan)
+                .unwrap();
+            assert_eq!(serial, wide, "{workers} workers");
+        }
+    }
+
+    #[test]
+    fn reprice_matches_full_rebuild_bit_for_bit() {
+        let spec = zoo::vlm_s();
+        let parallel = ParallelConfig::new(4, 4, 1);
+        let placement = separated_placement(&spec, parallel, &BTreeMap::new());
+        let cluster = cluster();
+        let batches = vec![vlm_batch(); 3];
+        let plan = SubMicrobatchPlan::uniform(placement.segments.len(), batches.len());
+        let builder = StageGraphBuilder::new(&spec, &placement, &cluster);
+        let base = builder.build(&batches, &plan).unwrap();
+        // A mixed memory plan across the ladder, including untouched pairs.
+        let ladder = MemoryStrategy::ladder(6);
+        let mut memory_plan = MemoryPlan::new();
+        for pair in 0..base.num_stage_pairs {
+            if pair % 3 != 2 {
+                memory_plan.set(pair, ladder[pair % ladder.len()]);
+            }
+        }
+        let rebuilt = StageGraphBuilder::new(&spec, &placement, &cluster)
+            .with_memory_plan(memory_plan.clone())
+            .build(&batches, &plan)
+            .unwrap();
+        let mut repriced = base.clone();
+        repriced.reprice(&memory_plan);
+        assert_eq!(repriced, rebuilt);
+        // Repricing back to the empty plan restores the original graph.
+        repriced.reprice(&MemoryPlan::new());
+        assert_eq!(repriced, base);
+    }
+
+    #[test]
+    fn prepared_workloads_are_reusable_across_builds() {
+        let spec = zoo::vlm_s();
+        let parallel = ParallelConfig::new(4, 4, 1);
+        let placement = separated_placement(&spec, parallel, &BTreeMap::new());
+        let cluster = cluster();
+        let batches = vec![vlm_batch(); 2];
+        let plan = SubMicrobatchPlan::uniform(placement.segments.len(), batches.len());
+        let builder = StageGraphBuilder::new(&spec, &placement, &cluster);
+        let prepared = builder.prepare(&batches, &plan).unwrap();
+        let (once, stats) = builder.build_prepared(&prepared);
+        let (twice, _) = builder.build_prepared(&prepared);
+        assert_eq!(once, twice);
+        assert_eq!(once, builder.build(&batches, &plan).unwrap());
+        assert!(stats.cpu_time > Duration::ZERO);
+    }
+
+    #[test]
+    fn csr_dep_slab_is_consistent() {
+        let spec = zoo::vlm_s();
+        let parallel = ParallelConfig::new(4, 4, 1);
+        let placement = separated_placement(&spec, parallel, &BTreeMap::new());
+        let cluster = cluster();
+        let batches = vec![vlm_batch(); 2];
+        let plan = SubMicrobatchPlan::uniform(placement.segments.len(), batches.len());
+        let graph = StageGraphBuilder::new(&spec, &placement, &cluster)
+            .build(&batches, &plan)
+            .unwrap();
+        let total: usize = (0..graph.len())
+            .map(|i| graph.deps_of(StageId(i)).len())
+            .sum();
+        // Every backward depends at least on its own forward.
+        assert!(total >= graph.len() / 2);
+        for item in graph.items() {
+            for (dep, lag) in graph.deps_of(item.id) {
+                assert!(dep.0 < graph.len());
+                assert!(lag.is_finite() && *lag >= 0.0);
+            }
+        }
     }
 }

@@ -21,6 +21,9 @@
 //!   the DIP planner (which feeds it MCTS-derived segment priorities);
 //! * [`executor`] — turns a stage graph plus per-rank orders into
 //!   [`dip_sim::SimEngine`] tasks and reports iteration metrics;
+//! * [`par`] — the deterministic fork-join helper behind the stage-graph
+//!   builder's block-parallel expansion (and, one layer up, the planner's
+//!   parallel search and memory-ILP phases);
 //! * [`baselines`] — end-to-end baseline systems: Megatron-LM (1F1B and
 //!   interleaved VPP), nnScaler*, Optimus coarse-grained scheduling, and an
 //!   analytical FSDP/ZeRO-3 model.
@@ -59,13 +62,17 @@ pub mod baselines;
 pub mod dual_queue;
 pub mod executor;
 pub mod graph;
+pub mod par;
 pub mod partition;
 pub mod placement;
 pub mod strategy;
 
 pub use dual_queue::{DualQueueConfig, RankOrders};
 pub use executor::{execute, ExecutionOutcome, ExecutorConfig};
-pub use graph::{Direction, StageGraph, StageGraphBuilder, StageId, SubMicrobatchPlan, WorkItem};
+pub use graph::{
+    Direction, GraphBuildStats, PreparedWorkloads, StageGraph, StageGraphBuilder, StageId,
+    SubMicrobatchPlan, WorkItem,
+};
 pub use partition::{
     balanced_latency_placement, balanced_param_placement, capacity_aware_separated_placement,
     latency_balanced_separated_placement, separated_placement, PlacementMode,

@@ -37,9 +37,9 @@ proptest! {
         let batches: Vec<BatchWorkload> = counts.iter().map(|&i| vlm_batch(i)).collect();
         let (plan, outcome) = planner.plan_and_simulate(&batches).unwrap();
 
-        prop_assert_eq!(plan.orders.num_stages(), plan.graph.items.len());
+        prop_assert_eq!(plan.orders.num_stages(), plan.graph.len());
         // Every stage appears exactly once across ranks.
-        let mut seen = vec![false; plan.graph.items.len()];
+        let mut seen = vec![false; plan.graph.len()];
         for order in &plan.orders.orders {
             for id in order {
                 prop_assert!(!seen[id.0]);
@@ -50,8 +50,8 @@ proptest! {
         // Simulated time can never beat the busiest rank's total work.
         prop_assert!(outcome.metrics.iteration_time_s + 1e-9 >= plan.graph.critical_rank_time());
         // Forward and backward stages are paired.
-        let fwd = plan.graph.items.iter().filter(|i| i.direction == Direction::Forward).count();
-        let bwd = plan.graph.items.iter().filter(|i| i.direction == Direction::Backward).count();
+        let fwd = plan.graph.items().iter().filter(|i| i.direction == Direction::Forward).count();
+        let bwd = plan.graph.items().iter().filter(|i| i.direction == Direction::Backward).count();
         prop_assert_eq!(fwd, bwd);
     }
 

@@ -10,9 +10,13 @@ use dip_core::{
     PlanningSession, SessionConfig,
 };
 use dip_models::{zoo, BatchWorkload, Modality, ModalityWorkload};
-use dip_pipeline::ParallelConfig;
-use dip_sim::ClusterSpec;
+use dip_pipeline::{
+    dual_queue, separated_placement, DualQueueConfig, MemoryPlan, MemoryStrategy, ParallelConfig,
+    StageGraphBuilder, SubMicrobatchPlan,
+};
+use dip_sim::{ClusterSpec, ClusterTopology};
 use proptest::prelude::*;
+use std::collections::BTreeMap;
 use std::time::Duration;
 
 fn vlm_batch(images: u64) -> BatchWorkload {
@@ -69,7 +73,9 @@ proptest! {
     /// Fixed seed + time budget ⇒ the same plan at 1, 2, 4 and 8 workers
     /// and across repeated runs, for arbitrary workload shapes and
     /// budgets. This is the tentpole guarantee: wall clocks are out of the
-    /// planning loop entirely.
+    /// planning loop entirely. The `workers` knob now drives every parallel
+    /// phase — the block-parallel stage-graph build included — so this
+    /// covers the graph-build axis end to end.
     #[test]
     fn time_budgeted_plans_are_bit_identical_across_worker_counts(
         images_a in 0u64..49,
@@ -172,7 +178,7 @@ proptest! {
             .map(|_| {
                 let unconstrained: u64 = plan
                     .graph
-                    .items
+                    .items()
                     .iter()
                     .map(|i| i.activation_bytes)
                     .sum::<u64>()
@@ -187,6 +193,95 @@ proptest! {
             optimize_memory_detailed(&plan.graph, &plan.orders, &budget, &config, threads)
                 .unwrap();
         prop_assert_eq!(serial.plan, wide.plan);
+    }
+
+    /// The block-parallel stage-graph build is byte-identical to the serial
+    /// build at 1/2/4/8 workers over random workloads, sub-microbatch splits
+    /// and (homogeneous or mixed) topologies — items, dependencies and every
+    /// float, the same guarantee the planner's `workers` knob rests on.
+    #[test]
+    fn parallel_graph_build_is_byte_identical_to_serial(
+        images in 0u64..49,
+        microbatches in 1usize..6,
+        encoder_splits in 1usize..5,
+        mixed in 0usize..2,
+    ) {
+        let spec = zoo::vlm_s();
+        let parallel = ParallelConfig::new(4, 4, 1);
+        let topology = if mixed == 1 {
+            ClusterTopology::mixed_h800_h20(1, 1)
+        } else {
+            ClusterSpec::h800_cluster(2).topology()
+        };
+        let mut k = BTreeMap::new();
+        k.insert(spec.backbone_id().unwrap(), 2usize);
+        let placement = separated_placement(&spec, parallel, &k);
+        let batches: Vec<BatchWorkload> =
+            (0..microbatches).map(|i| vlm_batch(images + i as u64)).collect();
+        let mut plan = SubMicrobatchPlan::uniform(placement.segments.len(), batches.len());
+        for m in 0..batches.len() {
+            plan.set(0, m, encoder_splits);
+        }
+        let build = |workers: usize| {
+            StageGraphBuilder::new_on(&spec, &placement, &topology)
+                .with_workers(workers)
+                .build(&batches, &plan)
+                .expect("builds")
+        };
+        let serial = build(1);
+        for workers in [2usize, 4, 8] {
+            prop_assert_eq!(&serial, &build(workers), "{} workers", workers);
+        }
+    }
+
+    /// `StageGraph::reprice` is bit-identical to rebuilding the graph with
+    /// the memory plan baked in — items, dependencies, durations — and the
+    /// repriced graph schedules to the bit-same makespan, over random
+    /// workloads and random per-pair strategy assignments.
+    #[test]
+    fn reprice_equals_full_rebuild_to_the_bit(
+        images in 0u64..49,
+        microbatches in 1usize..6,
+        ladder_len in 2usize..7,
+        stride in 1usize..5,
+        gap in 0usize..4,
+    ) {
+        let spec = zoo::vlm_s();
+        let parallel = ParallelConfig::new(4, 4, 1);
+        let cluster = ClusterSpec::h800_cluster(2);
+        let placement = separated_placement(&spec, parallel, &BTreeMap::new());
+        let batches: Vec<BatchWorkload> =
+            (0..microbatches).map(|i| vlm_batch(images + 2 * i as u64)).collect();
+        let plan = SubMicrobatchPlan::uniform(placement.segments.len(), batches.len());
+        let base = StageGraphBuilder::new(&spec, &placement, &cluster)
+            .build(&batches, &plan)
+            .expect("builds");
+
+        // A deterministic pseudo-random memory plan: walk the strategy
+        // ladder with the sampled stride, leaving every (gap+1)-th pair on
+        // the default keep-everything strategy.
+        let ladder = MemoryStrategy::ladder(ladder_len);
+        let mut memory_plan = MemoryPlan::new();
+        for pair in 0..base.num_stage_pairs {
+            if gap == 0 || pair % (gap + 1) != 0 {
+                memory_plan.set(pair, ladder[(pair * stride) % ladder.len()]);
+            }
+        }
+
+        let rebuilt = StageGraphBuilder::new(&spec, &placement, &cluster)
+            .with_memory_plan(memory_plan.clone())
+            .build(&batches, &plan)
+            .expect("builds");
+        let mut repriced = base.clone();
+        repriced.reprice(&memory_plan);
+        prop_assert_eq!(&repriced, &rebuilt);
+
+        // Scheduling the repriced and rebuilt graphs is bit-identical too.
+        let queue = DualQueueConfig::default();
+        let (orders_a, makespan_a) = dual_queue::schedule(&repriced, &queue);
+        let (orders_b, makespan_b) = dual_queue::schedule(&rebuilt, &queue);
+        prop_assert_eq!(orders_a, orders_b);
+        prop_assert_eq!(makespan_a.to_bits(), makespan_b.to_bits());
     }
 }
 

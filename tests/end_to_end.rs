@@ -93,7 +93,7 @@ fn t2v_pipeline_runs_end_to_end_from_dataset_to_metrics() {
     let (plan, outcome) = planner.plan_and_simulate(&batches).unwrap();
     assert!(outcome.metrics.iteration_time_s > 0.0);
     assert!(outcome.metrics.mfu > 0.0 && outcome.metrics.mfu < 1.0);
-    assert_eq!(plan.orders.num_stages(), plan.graph.items.len());
+    assert_eq!(plan.orders.num_stages(), plan.graph.len());
 
     let ctx = BaselineContext::new(&spec, parallel, &cluster);
     let megatron = simulate_megatron(&ctx, &batches, 1).unwrap().metrics;
