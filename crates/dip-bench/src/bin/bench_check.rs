@@ -7,10 +7,13 @@
 //! * any **determinism mismatch** (`determinism` metrics must reproduce
 //!   the baseline bit for bit: fixed-seed plans, evaluation counts and
 //!   cache totals are machine-independent by construction, so any drift is
-//!   a bug or an unacknowledged behaviour change).
+//!   a bug or an unacknowledged behaviour change), or
+//! * any **latency-ratio drift above 2×** (`latency_ratio` metrics such as
+//!   the fig8b Zipf gate's fuzzy-p99-over-cold-p50: both sides are
+//!   evaluation-quota bound, so the ratio survives machine changes).
 //!
-//! `info` metrics (wall-clock timings) are recorded in the artifact but
-//! never compared.
+//! `info` metrics (wall-clock timings, latency percentiles, regret
+//! observations) are recorded in the artifact but never compared.
 //!
 //! Usage:
 //!
@@ -28,6 +31,12 @@ use std::process::ExitCode;
 
 /// Regression tolerance for `sim_time` metrics.
 const SIM_TIME_TOLERANCE: f64 = 0.15;
+
+/// Drift tolerance for `latency_ratio` metrics: both sides of such a ratio
+/// are evaluation-quota bound, so the ratio is machine-independent to
+/// first order, but wall-clock noise still moves it — allow 2× over the
+/// baseline before failing (improvements always pass).
+const LATENCY_RATIO_TOLERANCE: f64 = 1.0;
 
 fn load_reports(path: &str) -> Result<Vec<BenchReport>, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
@@ -136,6 +145,19 @@ fn compare(baseline: &[BenchReport], current: &[BenchReport]) -> (Vec<Failure>, 
                                 now.value,
                                 (now.value / metric.value - 1.0) * 100.0,
                                 SIM_TIME_TOLERANCE * 100.0
+                            ),
+                        });
+                    }
+                }
+                MetricKind::LatencyRatio => {
+                    let limit = metric.value * (1.0 + LATENCY_RATIO_TOLERANCE);
+                    if now.value > limit {
+                        failures.push(Failure {
+                            bench: cur.bench.clone(),
+                            metric: metric.name.clone(),
+                            reason: format!(
+                                "latency-ratio regression: baseline {:.4} → current {:.4} (limit {:.4})",
+                                metric.value, now.value, limit
                             ),
                         });
                     }

@@ -9,6 +9,13 @@
 //! cache with identical simulated iteration times and (near-)zero planning
 //! cost. The session statistics printed at the end make the saving
 //! observable.
+//!
+//! The `zipf.*` section stresses the *fuzzy* tier instead: a seeded
+//! Zipfian stream over a skewed shape population keeps producing fresh
+//! exact signatures inside hot canonical buckets, so delta replanning —
+//! not the exact cache — has to absorb the traffic. It reports per-tier
+//! planning-latency percentiles, the simulated-regret envelope of
+//! fuzzy-served plans and a cross-worker bit-identity witness.
 
 use dip_bench::{fmt_s, print_table, BenchReport, ExperimentScale, MetricKind};
 use dip_core::{PlanRequest, PlannerConfig, PlanningSession, SessionStats};
@@ -25,7 +32,7 @@ fn print_session_stats(name: &str, stats: &SessionStats) {
         "{name:<12} planning: {} plans | cache {} hits / {} misses (hit rate {:.0}%) | \
          total {:.0} ms = partition {:.0} ms + graph build {:.0} ms + search {:.0} ms + memopt {:.0} ms",
         stats.requests,
-        stats.cache_hits,
+        stats.exact_hits,
         stats.cache_misses,
         stats.hit_rate() * 100.0,
         stats.planning_time.as_secs_f64() * 1e3,
@@ -146,10 +153,10 @@ fn main() {
     report.push_flag("envelope.cache_replay_identical", replay_identical);
     let stats = dip.stats();
     report.push(
-        "envelope.dip.cache_hits",
+        "envelope.dip.exact_hits",
         MetricKind::Determinism,
         "count",
-        stats.cache_hits as f64,
+        stats.exact_hits as f64,
     );
     report.push(
         "envelope.dip.cache_misses",
@@ -178,7 +185,223 @@ fn main() {
         &representative,
         &mut report,
     );
+    zipf_dynamic_traffic(&spec, parallel, &cluster, &representative, &mut report);
     report.write_if_requested();
+}
+
+/// The `q`-th percentile of `values` (nearest-rank on the sorted copy).
+fn percentile(values: &[f64], q: f64) -> f64 {
+    assert!(!values.is_empty(), "percentile of an empty sample");
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx]
+}
+
+/// Zipfian dynamic traffic over a skewed shape population: hot base shapes
+/// keep arriving as fresh in-bucket jitter variants, so the exact tier
+/// alone cannot absorb them — the fuzzy tier's delta replanning must. The
+/// section reports per-tier planning-latency percentiles, the
+/// simulated-regret envelope of the fuzzy-served plans against fresh cold
+/// plans, and a cross-worker bit-identity witness; CI gates the tier
+/// counts, the regret bound and `delta p99 < cold p50`.
+fn zipf_dynamic_traffic(
+    spec: &dip_models::LmmSpec,
+    parallel: ParallelConfig,
+    cluster: &ClusterSpec,
+    representative: &dip_models::BatchWorkload,
+    report: &mut BenchReport,
+) {
+    use dip_bench::zipf_request_stream;
+    use dip_core::{BucketingConfig, PlanTier, SessionConfig};
+    use std::time::Instant;
+
+    let scale = ExperimentScale::from_env();
+    let bucketing = BucketingConfig::default();
+    let (length, hot, variants) = if ExperimentScale::name_from_env() == "full" {
+        (200, 12, 6)
+    } else {
+        (60, 8, 4)
+    };
+    let stream = zipf_request_stream(
+        length,
+        hot,
+        variants,
+        scale.microbatches,
+        1.1,
+        0xd1b0_5eed,
+        &bucketing,
+    );
+
+    let mut config = scale.planner_config();
+    config.search.workers = 1;
+    let session = PlanningSession::with_config(
+        spec,
+        parallel,
+        cluster,
+        config.clone(),
+        SessionConfig::fuzzy(),
+    );
+    session
+        .planner()
+        .offline_partition_if_absent(representative)
+        .expect("offline partitioning");
+
+    // A cold reference session (no caches at all) prices the regret of
+    // every fuzzy-served plan against a fresh full plan of the same shape.
+    let cold_reference = PlanningSession::with_config(
+        spec,
+        parallel,
+        cluster,
+        config.clone(),
+        SessionConfig::cold(),
+    );
+    cold_reference
+        .planner()
+        .offline_partition_if_absent(representative)
+        .expect("offline partitioning");
+
+    const MAX_REGRET_PROBES: usize = 12;
+    const REGRET_EPSILON: f64 = 0.10;
+    let mut latencies: [Vec<f64>; 3] = [Vec::new(), Vec::new(), Vec::new()];
+    let mut max_regret = 0.0f64;
+    let mut regret_probes = 0usize;
+    for request in &stream {
+        let start = Instant::now();
+        let outcome = session.plan(request).expect("zipf stream plans");
+        let latency_ms = start.elapsed().as_secs_f64() * 1e3;
+        let tier_idx = match outcome.tier {
+            PlanTier::Cold => 0,
+            PlanTier::Fuzzy => 1,
+            PlanTier::Exact => 2,
+        };
+        latencies[tier_idx].push(latency_ms);
+        if outcome.tier == PlanTier::Fuzzy && regret_probes < MAX_REGRET_PROBES {
+            regret_probes += 1;
+            let fuzzy_time = session
+                .simulate(&outcome.plan)
+                .expect("fuzzy plan simulates")
+                .metrics
+                .iteration_time_s;
+            let fresh = cold_reference.plan(request).expect("fresh reference plan");
+            let fresh_time = cold_reference
+                .simulate(&fresh.plan)
+                .expect("fresh plan simulates")
+                .metrics
+                .iteration_time_s;
+            max_regret = max_regret.max(fuzzy_time / fresh_time - 1.0);
+        }
+    }
+    if regret_probes == MAX_REGRET_PROBES {
+        println!(
+            "zipf: regret priced on the first {MAX_REGRET_PROBES} fuzzy hits \
+             (later fuzzy hits unpriced)"
+        );
+    }
+
+    let stats = session.stats();
+    assert_eq!(
+        stats.requests,
+        stats.exact_hits + stats.fuzzy_hits + stats.cache_misses,
+        "tier totals must partition the request count"
+    );
+    let mut rows = Vec::new();
+    for (name, tier) in ["cold", "fuzzy", "exact"].iter().zip(&latencies) {
+        let (p50, p99) = if tier.is_empty() {
+            (f64::NAN, f64::NAN)
+        } else {
+            (percentile(tier, 0.50), percentile(tier, 0.99))
+        };
+        rows.push(vec![
+            name.to_string(),
+            tier.len().to_string(),
+            format!("{p50:.3}"),
+            format!("{p99:.3}"),
+        ]);
+        report.push(
+            format!("zipf.{name}.requests"),
+            MetricKind::Determinism,
+            "count",
+            tier.len() as f64,
+        );
+        if !tier.is_empty() {
+            report.push(format!("zipf.{name}.p50_ms"), MetricKind::Info, "ms", p50);
+            report.push(format!("zipf.{name}.p99_ms"), MetricKind::Info, "ms", p99);
+        }
+    }
+    print_table(
+        "Fig. 8b (zipf) — planning-latency percentiles per lookup tier under Zipfian traffic",
+        &["Tier", "Requests", "p50 (ms)", "p99 (ms)"],
+        &rows,
+    );
+    println!(
+        "zipf: {} delta replans | max simulated regret of fuzzy-served plans {:.3}% (bound {:.0}%)",
+        stats.delta_replans,
+        max_regret * 100.0,
+        REGRET_EPSILON * 100.0
+    );
+    println!(
+        "Expected shape: fuzzy-tier p99 sits well below cold p50 — delta replanning skips the \
+         partitioner and the memory ILP and searches under the tiny delta budget."
+    );
+
+    report.push(
+        "zipf.delta_replans",
+        MetricKind::Determinism,
+        "count",
+        stats.delta_replans as f64,
+    );
+    report.push("zipf.max_regret", MetricKind::Info, "ratio", max_regret);
+    report.push_flag("zipf.regret_ok", max_regret <= REGRET_EPSILON);
+    let delta_fast = !latencies[1].is_empty()
+        && !latencies[0].is_empty()
+        && percentile(&latencies[1], 0.99) < percentile(&latencies[0], 0.50);
+    report.push_flag("zipf.delta_p99_below_cold_p50", delta_fast);
+    if !latencies[0].is_empty() && !latencies[1].is_empty() {
+        report.push(
+            "zipf.fuzzy_p99_over_cold_p50",
+            MetricKind::LatencyRatio,
+            "ratio",
+            percentile(&latencies[1], 0.99) / percentile(&latencies[0], 0.50),
+        );
+    }
+
+    // Cross-worker bit-identity: replay a prefix of the stream at two
+    // search-worker counts; every tier decision and simulated time must
+    // reproduce bit for bit.
+    let prefix = &stream[..stream.len().min(16)];
+    let replay = |workers: usize| -> Vec<(PlanTier, u64)> {
+        let mut config = scale.planner_config();
+        config.search.workers = workers;
+        let session =
+            PlanningSession::with_config(spec, parallel, cluster, config, SessionConfig::fuzzy());
+        session
+            .planner()
+            .offline_partition_if_absent(representative)
+            .expect("offline partitioning");
+        prefix
+            .iter()
+            .map(|request| {
+                let outcome = session.plan(request).expect("replay plans");
+                let time = session
+                    .simulate(&outcome.plan)
+                    .expect("replay plan simulates")
+                    .metrics
+                    .iteration_time_s;
+                (outcome.tier, time.to_bits())
+            })
+            .collect()
+    };
+    let identical = replay(1) == replay(4);
+    report.push_flag("zipf.cross_worker_identical", identical);
+    println!(
+        "zipf: tier decisions and simulated times at 1 vs 4 search workers: {}",
+        if identical {
+            "bit-identical"
+        } else {
+            "DIVERGED"
+        }
+    );
 }
 
 /// Parallel-engine scaling on the recorded pass: `plan_many` plans all 20

@@ -13,8 +13,8 @@
 pub mod json;
 
 use crate::json::JsonValue;
-use dip_core::{PlanRequest, PlannerConfig, PlanningSession};
-use dip_data::{BatchGenerator, DatasetMix};
+use dip_core::{BucketingConfig, PlanRequest, PlannerConfig, PlanningSession};
+use dip_data::{BatchGenerator, DatasetMix, ZipfSampler};
 use dip_models::{BatchWorkload, LmmSpec, Modality, ModalityWorkload};
 use dip_pipeline::baselines::{
     nnscaler_static_plan, simulate_megatron, simulate_nnscaler, simulate_optimus, BaselineContext,
@@ -98,6 +98,69 @@ pub fn vlm_batch(images: u64) -> BatchWorkload {
         .with(Modality::Image, ModalityWorkload::new(images * 169, images))
 }
 
+/// An in-bucket jitter of [`vlm_batch`]: the text-token count moves by up
+/// to `dt` (clamped to the canonical bucket's remaining headroom under
+/// `bucketing`), so the exact workload signature changes while the
+/// canonical signature — and therefore the fuzzy-cache bucket — stays put.
+pub fn vlm_batch_jittered(images: u64, dt: u64, bucketing: &BucketingConfig) -> BatchWorkload {
+    let base = vlm_batch(images);
+    let text = base.get(Modality::Text);
+    let width = bucketing.token_bucket.max(1);
+    let headroom = width - 1 - (text.tokens % width);
+    BatchWorkload::new()
+        .with(
+            Modality::Text,
+            ModalityWorkload::new(text.tokens + dt.min(headroom), text.sequences),
+        )
+        .with(Modality::Image, base.get(Modality::Image))
+}
+
+/// The base per-microbatch image count of Zipf rank `rank`, microbatch `m`
+/// — a deterministic spread over the 2..=48 packing range, distinct across
+/// nearby ranks.
+fn zipf_base_images(rank: usize, m: usize) -> u64 {
+    ((rank * 7 + m * 3) % 47) as u64 + 2
+}
+
+/// A seeded Zipfian dynamic-traffic request stream (the fig8b `zipf.*`
+/// section).
+///
+/// Ranks are drawn from [`ZipfSampler::new(hot, exponent)`](ZipfSampler);
+/// each rank maps to a fixed base shape of `microbatches` microbatches, and
+/// successive visits to a rank rotate through `variants` in-bucket jitter
+/// variants of that base. Hot ranks therefore keep producing *fresh exact
+/// signatures inside one canonical bucket* — the traffic pattern the fuzzy
+/// tier's delta replanning targets — while revisits of a (rank, variant)
+/// pair repeat the exact signature and hit the exact tier. The stream is a
+/// pure function of its arguments: the same seed replays bit-identically.
+pub fn zipf_request_stream(
+    length: usize,
+    hot: usize,
+    variants: usize,
+    microbatches: usize,
+    exponent: f64,
+    seed: u64,
+    bucketing: &BucketingConfig,
+) -> Vec<PlanRequest> {
+    use rand::{rngs::StdRng, SeedableRng};
+    let zipf = ZipfSampler::new(hot, exponent);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut visits = vec![0usize; hot];
+    (0..length)
+        .map(|_| {
+            let rank = zipf.sample(&mut rng);
+            let variant = visits[rank] % variants.max(1);
+            visits[rank] += 1;
+            let batches = (0..microbatches)
+                .map(|m| {
+                    vlm_batch_jittered(zipf_base_images(rank, m), (variant as u64) * 7, bucketing)
+                })
+                .collect();
+            PlanRequest::new(batches)
+        })
+        .collect()
+}
+
 /// Draws `n` packed VLM microbatch workloads from the default dataset
 /// mixture.
 pub fn vlm_batches_from_datasets(n: usize, seed: u64) -> Vec<BatchWorkload> {
@@ -179,6 +242,12 @@ pub enum MetricKind {
     /// cache hit totals): fixed-seed runs must reproduce the baseline
     /// **bit for bit on any machine** — the gate fails on any mismatch.
     Determinism,
+    /// A ratio of two wall-clock latencies measured in the same run (e.g.
+    /// fuzzy-tier p99 over cold-tier p50). Both sides are evaluation-quota
+    /// bound, so the ratio is machine-independent to first order; the gate
+    /// allows a generous 2× drift over the baseline before failing, and
+    /// improvements always pass.
+    LatencyRatio,
     /// Wall-clock timings and other machine-dependent observations:
     /// recorded for the artifact, never compared.
     Info,
@@ -189,6 +258,7 @@ impl MetricKind {
         match self {
             MetricKind::SimTime => "sim_time",
             MetricKind::Determinism => "determinism",
+            MetricKind::LatencyRatio => "latency_ratio",
             MetricKind::Info => "info",
         }
     }
@@ -197,6 +267,7 @@ impl MetricKind {
         match s {
             "sim_time" => Some(MetricKind::SimTime),
             "determinism" => Some(MetricKind::Determinism),
+            "latency_ratio" => Some(MetricKind::LatencyRatio),
             "info" => Some(MetricKind::Info),
             _ => None,
         }

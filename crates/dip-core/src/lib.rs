@@ -20,10 +20,11 @@
 //! * [`planner`] — the online planning loop (§3.2): prefetch metadata,
 //!   partition microbatches, search a schedule (in parallel on CPU workers),
 //!   optimise memory and deploy the plan, per training iteration;
-//! * [`session`] — the thread-safe planning-session layer: plan requests
-//!   keyed by canonical workload signatures (with the cluster-topology
-//!   fingerprint folded into the cache key), a concurrent O(1) LRU plan
-//!   cache serving repeated shapes without re-planning (single-flight: a
+//! * [`session`] — the thread-safe planning-session layer: a three-tier
+//!   plan lookup (exact signature hit → fuzzy bucketed hit served by delta
+//!   replanning → cold plan) over concurrent O(1) LRU caches, with the
+//!   cluster-topology fingerprint folded into every cache key,
+//!   single-flight planning through a sharded per-key in-flight table (a
 //!   stampeded fresh shape runs the planner exactly once), warm-started
 //!   search across iterations, and a [`PlanningSession::plan_many`] worker
 //!   pool for planning independent requests concurrently;
@@ -81,7 +82,11 @@ pub use ordering::{
     OrderingSearchConfig, SearchProgressPoint, SearchStrategy,
 };
 pub use partitioner::{ModalityAwarePartitioner, PartitionerConfig, PartitionerOutput};
-pub use planner::{DipPlan, DipPlanner, PlannerConfig, PlannerStats};
+pub use planner::{DipPlan, DipPlanner, PlanTier, PlannerConfig, PlannerStats};
 pub use session::{
     PlanOutcome, PlanRequest, PlanningSession, SessionConfig, SessionStats, WorkloadSignature,
 };
+
+// Re-exported so session users can configure the fuzzy tier without a
+// direct dip-models dependency.
+pub use dip_models::{BucketingConfig, CanonicalSignature};

@@ -71,6 +71,16 @@ pub struct OrderingSearchConfig {
     /// stream**, min-combined with the virtual-time quota. Handy for
     /// benchmarks that want to fix the total search work exactly.
     pub max_evaluations: Option<u64>,
+    /// **Virtual-time** budget of a *delta replan*: the tiny ordering
+    /// search a [`crate::PlanningSession`] runs on a fuzzy cache hit,
+    /// seeded from the cached neighbour's best ordering (the full
+    /// [`Self::time_budget`] is reserved for cold plans). Like
+    /// `time_budget` it is converted into a deterministic per-stream
+    /// evaluation quota, so delta replans are bit-identical on any machine
+    /// at any worker count. A zero budget degrades gracefully: the
+    /// neighbour's ordering is adopted verbatim (one deterministic
+    /// interleave pass, no search).
+    pub delta_budget: Duration,
     /// Calibrated cost model of one ordering evaluation (one dual-queue
     /// interleave pass), per stage-graph item: the virtual clock rate that
     /// converts [`Self::time_budget`] into an evaluation quota. Calibrate
@@ -115,6 +125,7 @@ impl Default for OrderingSearchConfig {
             strategy: SearchStrategy::Mcts,
             time_budget: Duration::from_millis(500),
             max_evaluations: None,
+            delta_budget: Duration::from_millis(5),
             eval_cost: CostModel::REFERENCE_EVALUATION,
             streams: 4,
             workers: 4,

@@ -5,7 +5,9 @@
 
 use crate::error::{DipError, ResultExt};
 use crate::memopt::{optimize_memory_detailed, MemoryOptConfig};
-use crate::ordering::{search_ordering, OrderingResult, OrderingSearchConfig, SearchStrategy};
+use crate::ordering::{
+    ordering_from_priorities, search_ordering, OrderingResult, OrderingSearchConfig, SearchStrategy,
+};
 use crate::partitioner::{ModalityAwarePartitioner, PartitionerConfig, PartitionerOutput};
 use dip_models::{BatchWorkload, LmmSpec};
 use dip_pipeline::{
@@ -109,6 +111,23 @@ impl PlannerConfig {
     }
 }
 
+/// Which tier of the planning-session's three-tier lookup produced a plan:
+/// exact cache hit, fuzzy hit (delta replan from an in-bucket neighbour) or
+/// cold (planned from scratch). Single-shot [`DipPlanner`] plans are always
+/// [`PlanTier::Cold`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum PlanTier {
+    /// Planned from scratch: full ordering search plus memory ILP.
+    #[default]
+    Cold,
+    /// Served from the exact-signature plan cache without re-planning.
+    Exact,
+    /// Delta-replanned from an in-bucket neighbour's cached plan (the
+    /// neighbour's partition and memory plan are reused; only a tiny
+    /// seeded ordering search runs).
+    Fuzzy,
+}
+
 /// Statistics of one planning invocation.
 #[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
 pub struct PlannerStats {
@@ -156,11 +175,17 @@ pub struct PlannerStats {
     /// The searcher's own estimate of the planned iteration time (seconds).
     pub planned_time_s: f64,
     /// True when the plan was served from a [`crate::PlanningSession`]
-    /// cache instead of being computed.
+    /// cache instead of being computed (equivalent to
+    /// `tier == PlanTier::Exact`).
     pub cache_hit: bool,
     /// True when the schedule search was warm-started from a previous
     /// iteration's best ordering.
     pub warm_started: bool,
+    /// The lookup tier that produced this plan — the per-tier latency
+    /// split: `planning_time` under [`PlanTier::Exact`] is pure cache
+    /// lookup, under [`PlanTier::Fuzzy`] one graph expansion + reprice +
+    /// delta search, under [`PlanTier::Cold`] the full pipeline.
+    pub tier: PlanTier,
 }
 
 /// A deployed execution plan for one training iteration.
@@ -503,6 +528,155 @@ impl<'a> DipPlanner<'a> {
                 planned_time_s: planned_time,
                 cache_hit: false,
                 warm_started,
+                tier: PlanTier::Cold,
+            },
+        })
+    }
+
+    /// Delta-replans one iteration from a cached neighbour's plan — the
+    /// fuzzy tier of the [`crate::PlanningSession`] three-tier lookup. The
+    /// anchor's sub-microbatch splits and per-stage-pair memory strategies
+    /// are adopted as-is; the stage graph is expanded once for the *new*
+    /// workloads (so every stage is priced against the real shape) and
+    /// repriced in place under the adopted strategies; then only a tiny
+    /// ordering search runs, seeded from the anchor's best ordering and
+    /// budgeted by [`OrderingSearchConfig::delta_budget`] — no full MCTS
+    /// budget and no memory ILP. With a zero delta budget (or one too
+    /// small to buy a single evaluation) the anchor's ordering is adopted
+    /// verbatim: one deterministic interleave pass, no search at all.
+    ///
+    /// Like every search in this crate the delta budget is virtual time,
+    /// so a fixed seed yields a bit-identical delta plan at any worker
+    /// count on any machine.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DipError::InvalidRequest`] when the anchor is
+    /// structurally incompatible with the request (different segment or
+    /// microbatch count — callers fall back to a cold plan), and otherwise
+    /// propagates stage-graph construction failures.
+    pub fn plan_iteration_delta(
+        &self,
+        microbatches: &[BatchWorkload],
+        anchor: &DipPlan,
+    ) -> Result<DipPlan, DipError> {
+        if microbatches.is_empty() {
+            return Err(DipError::invalid_request(
+                "cannot plan an iteration with zero microbatches",
+            ));
+        }
+        let start = Instant::now();
+        let partition = self.ensure_partition(microbatches)?;
+        let num_segments = partition.placement.segments.len();
+        let sub_plan = anchor.sub_microbatches.clone();
+        if sub_plan.num_segments() != num_segments
+            || sub_plan.num_microbatches() != microbatches.len()
+            || anchor.segment_priorities.len() != num_segments
+        {
+            return Err(DipError::invalid_request(format!(
+                "anchor plan covers {}x{} (segments x microbatches), \
+                 request needs {}x{}",
+                sub_plan.num_segments(),
+                sub_plan.num_microbatches(),
+                num_segments,
+                microbatches.len()
+            )));
+        }
+        let partition_time = start.elapsed();
+
+        // One stage-graph expansion for the new shape. Reusing the anchor's
+        // sub-microbatch table keeps the stage-pair indexing aligned with
+        // the anchor's memory plan, so the strategies transfer one-to-one.
+        let build_start = Instant::now();
+        let builder = StageGraphBuilder::new_on(self.spec, &partition.placement, &self.topology)
+            .with_efficiency(self.config.efficiency)
+            .with_workers(self.config.search.workers.max(1));
+        let prepared = builder
+            .prepare(microbatches, &sub_plan)
+            .planning_context("building stage graph for delta replan")?;
+        let (mut graph, build_stats) = builder.build_prepared(&prepared);
+        let graph_build_time = build_start.elapsed();
+
+        // Adopt the anchor's memory strategies by repricing in place
+        // *before* scheduling, so the delta search sees final timings.
+        let memopt_start = Instant::now();
+        let memory_plan = anchor.memory_plan.clone();
+        graph.reprice(&memory_plan);
+        let memopt_time = memopt_start.elapsed();
+
+        let budget: Vec<u64> = self.activation_budget(&graph.static_memory);
+        let base_queue = DualQueueConfig {
+            memory_limit: Some(budget),
+            ..DualQueueConfig::default()
+        };
+
+        let search_start = Instant::now();
+        let delta_config = OrderingSearchConfig {
+            time_budget: self.config.search.delta_budget,
+            dual_queue: base_queue.clone(),
+            seed_ordering: Some(ordering_from_priorities(&anchor.segment_priorities)),
+            ..self.config.search.clone()
+        };
+        let quota = delta_config.evaluation_quota(graph.len());
+        let (priorities, orders, evaluations, worker_evaluations, search_cpu_time, planned_time) =
+            if self.config.enable_search && quota > 0 {
+                let OrderingResult {
+                    segment_priorities,
+                    best_time_s,
+                    evaluations,
+                    worker_evaluations,
+                    cpu_time,
+                    orders,
+                    ..
+                } = search_ordering(&graph, num_segments, &delta_config);
+                (
+                    segment_priorities,
+                    orders,
+                    evaluations,
+                    worker_evaluations,
+                    cpu_time,
+                    best_time_s,
+                )
+            } else {
+                // Zero (or sub-evaluation) delta budget: serve the
+                // anchor's ordering verbatim.
+                let queue = DualQueueConfig {
+                    segment_priorities: anchor.segment_priorities.clone(),
+                    ..base_queue
+                };
+                let (orders, makespan) = dual_queue::schedule(&graph, &queue);
+                (
+                    anchor.segment_priorities.clone(),
+                    orders,
+                    1,
+                    Vec::new(),
+                    Duration::ZERO,
+                    makespan,
+                )
+            };
+        let search_time = search_start.elapsed();
+
+        Ok(DipPlan {
+            graph,
+            orders,
+            segment_priorities: priorities,
+            memory_plan,
+            sub_microbatches: sub_plan,
+            stats: PlannerStats {
+                planning_time: start.elapsed(),
+                partition_time,
+                graph_build_time,
+                graph_build_cpu_time: build_stats.cpu_time,
+                search_time,
+                search_cpu_time,
+                memopt_time,
+                memopt_cpu_time: Duration::ZERO,
+                search_evaluations: evaluations,
+                search_worker_evaluations: worker_evaluations,
+                planned_time_s: planned_time,
+                cache_hit: false,
+                warm_started: true,
+                tier: PlanTier::Fuzzy,
             },
         })
     }

@@ -15,11 +15,25 @@
 //!   different clusters never collide;
 //! * plans for already-seen signatures are served from an O(1) LRU cache in
 //!   microseconds instead of re-running the MCTS ordering search and the
-//!   memory ILP (the [`SessionStats`] hit/miss counters make the saving
+//!   memory ILP (the [`SessionStats`] per-tier counters make the saving
 //!   observable); the hit path takes a single cache-lock acquisition;
+//! * with [`SessionConfig::bucketing`] enabled, exact misses fall through
+//!   to a **fuzzy tier**: the request's quantised [`CanonicalSignature`]
+//!   is looked up in a bucket-keyed anchor cache, and an in-bucket
+//!   neighbour's plan is **delta-replanned** — the neighbour's
+//!   sub-microbatch splits and memory plan are adopted, the stage graph is
+//!   expanded once for the real shape and repriced in place, and only a
+//!   tiny ordering search seeded from the neighbour's best ordering runs
+//!   (budgeted by [`crate::OrderingSearchConfig::delta_budget`]); no full
+//!   MCTS budget and no memory ILP, so fuzzy-hit latency sits orders of
+//!   magnitude below a cold plan while staying within a small simulated
+//!   regret of it (the `fuzzy_replanning` proptests bound it empirically);
 //! * fresh signatures are planned **single-flight**: threads stampeding on
 //!   the same new shape run the planner exactly once — one leader plans
-//!   while the rest wait and then serve the freshly cached plan as a hit;
+//!   while the rest wait and then serve the freshly cached plan as a hit.
+//!   The in-flight table is sharded with per-key wait slots, so thousands
+//!   of distinct cold keys can stampede concurrently without convoying on
+//!   one lock, and waiters for one key never wake waiters for another;
 //! * on a cache miss, the ordering search is **warm-started** from the
 //!   previous iteration's best ordering
 //!   ([`crate::ordering_from_priorities`]), so similar-but-not-identical
@@ -66,12 +80,13 @@
 
 use crate::error::DipError;
 use crate::ordering::ordering_from_priorities;
-use crate::planner::{DipPlan, DipPlanner, PlannerConfig};
-use dip_models::{BatchWorkload, LmmSpec};
+use crate::planner::{DipPlan, DipPlanner, PlanTier, PlannerConfig};
+use dip_models::{BatchWorkload, BucketingConfig, CanonicalSignature, LmmSpec};
 use dip_pipeline::{ExecutionOutcome, ParallelConfig};
 use dip_sim::ClusterSpec;
 use parking_lot::{Mutex, RwLock};
-use std::collections::{HashMap, HashSet};
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering as AtomicOrdering};
 use std::sync::{Arc, Condvar as StdCondvar, Mutex as StdMutex};
@@ -164,22 +179,34 @@ impl From<&[BatchWorkload]> for PlanRequest {
 /// The outcome of planning one request through a [`PlanningSession`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct PlanOutcome {
-    /// The execution plan (freshly computed or restored from the cache).
+    /// The execution plan (freshly computed, delta-replanned from an
+    /// in-bucket neighbour, or restored from the cache).
     pub plan: DipPlan,
     /// The request's workload signature.
     pub signature: WorkloadSignature,
-    /// True when the plan was served from the session's cache.
+    /// True when the plan was served verbatim from the session's exact
+    /// cache (equivalent to `tier == PlanTier::Exact`).
     pub cache_hit: bool,
+    /// Which tier of the three-tier lookup served this request.
+    pub tier: PlanTier,
 }
 
 /// Configuration of a [`PlanningSession`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SessionConfig {
     /// Maximum number of cached plans (LRU eviction); `0` disables caching.
+    /// The fuzzy anchor cache (when [`SessionConfig::bucketing`] is set)
+    /// has the same capacity.
     pub cache_capacity: usize,
     /// Warm-start the ordering search from the previous iteration's best
     /// ordering on cache misses.
     pub warm_start: bool,
+    /// Enables the fuzzy tier: exact misses whose quantised
+    /// [`CanonicalSignature`] matches a cached anchor are served by delta
+    /// replanning instead of a cold plan. `None` (the default) keeps the
+    /// session exact-only; the bucket widths trade fuzzy hit rate against
+    /// worst-case in-bucket regret.
+    pub bucketing: Option<BucketingConfig>,
 }
 
 impl Default for SessionConfig {
@@ -187,6 +214,7 @@ impl Default for SessionConfig {
         Self {
             cache_capacity: 64,
             warm_start: true,
+            bucketing: None,
         }
     }
 }
@@ -199,6 +227,16 @@ impl SessionConfig {
         Self {
             cache_capacity: 0,
             warm_start: false,
+            bucketing: None,
+        }
+    }
+
+    /// A session with the fuzzy tier enabled under the default
+    /// [`BucketingConfig`] (on top of the default exact cache).
+    pub fn fuzzy() -> Self {
+        Self {
+            bucketing: Some(BucketingConfig::default()),
+            ..Self::default()
         }
     }
 }
@@ -208,19 +246,37 @@ impl SessionConfig {
 pub struct SessionStats {
     /// Total plan requests served.
     pub requests: u64,
-    /// Requests answered from the plan cache.
-    pub cache_hits: u64,
-    /// Requests that required a fresh plan (including requests whose fresh
-    /// plan failed, so `requests == cache_hits + cache_misses` always
-    /// holds).
+    /// Requests answered verbatim from the exact-signature plan cache.
+    pub exact_hits: u64,
+    /// Requests answered by the fuzzy tier: an in-bucket neighbour's plan
+    /// was reused via delta replanning (or served verbatim under a zero
+    /// delta budget). A fuzzy hit is **not** a miss — the tier totals
+    /// satisfy `exact_hits + fuzzy_hits + cache_misses == requests`.
+    pub fuzzy_hits: u64,
+    /// Fuzzy hits that actually re-ran the seeded ordering search (the
+    /// remainder adopted the neighbour's ordering verbatim because the
+    /// delta budget bought no evaluations).
+    pub delta_replans: u64,
+    /// Requests that required a cold plan (including requests whose cold
+    /// plan failed, so `requests == exact_hits + fuzzy_hits + cache_misses`
+    /// always holds).
     pub cache_misses: u64,
-    /// Fresh plans whose search was warm-started.
+    /// Cold plans whose search was warm-started (delta replans are seeded
+    /// by construction and tracked under `delta_replans` instead).
     pub warm_started_plans: u64,
     /// Cached plans evicted by the LRU policy.
     pub evictions: u64,
     /// Cumulative wall-clock planning time (cache hits contribute only the
     /// lookup cost).
     pub planning_time: Duration,
+    /// Planning wall time spent serving exact hits (pure lookup cost) —
+    /// the per-tier latency split, summed per tier.
+    pub exact_hit_time: Duration,
+    /// Planning wall time spent serving fuzzy hits (graph expansion +
+    /// reprice + delta search).
+    pub fuzzy_plan_time: Duration,
+    /// Planning wall time spent on cold plans (the full pipeline).
+    pub cold_plan_time: Duration,
     /// Cumulative partitioning (sub-microbatch planning) time of fresh
     /// plans.
     pub partition_time: Duration,
@@ -243,12 +299,13 @@ pub struct SessionStats {
 }
 
 impl SessionStats {
-    /// Fraction of requests served from the cache.
+    /// Fraction of requests served without a cold plan (exact plus fuzzy
+    /// hits).
     pub fn hit_rate(&self) -> f64 {
         if self.requests == 0 {
             0.0
         } else {
-            self.cache_hits as f64 / self.requests as f64
+            (self.exact_hits + self.fuzzy_hits) as f64 / self.requests as f64
         }
     }
 }
@@ -422,10 +479,17 @@ pub struct PlanningSession<'a> {
     /// cache key so plans for different clusters never collide.
     topology_fingerprint: u64,
     cache: RwLock<LruCache>,
-    /// Cache keys currently being planned by some thread (single-flight
-    /// dedup); waiters sleep on the condvar until the leader finishes.
-    in_flight: StdMutex<HashSet<u64>>,
-    in_flight_cv: StdCondvar,
+    /// Fuzzy anchor cache: canonical (bucketed) key → the bucket's anchor
+    /// plan. The *first* cold plan of a bucket becomes its anchor and is
+    /// never replaced by delta replans, so in-bucket reuse always measures
+    /// one delta step from a cold plan — regret never compounds across a
+    /// chain of neighbours.
+    fuzzy: RwLock<LruCache>,
+    /// Sharded single-flight table: cache keys currently being planned,
+    /// each with its own per-key wait slot. Stampeding threads for one key
+    /// sleep on that key's slot only, so distinct cold keys neither convoy
+    /// on a shared lock nor wake each other's waiters.
+    in_flight: Vec<InFlightShard>,
     /// Number of plan-cache lock acquisitions taken by [`PlanningSession::plan`]
     /// (hit path: exactly one per request).
     cache_lock_acquisitions: AtomicU64,
@@ -433,20 +497,56 @@ pub struct PlanningSession<'a> {
     stats: Mutex<SessionStats>,
 }
 
-/// Removes a key from the in-flight set and wakes the waiters when the
-/// planning leader is done — on success, error or panic alike, so a failed
-/// leader can never strand its waiters.
+/// Number of single-flight shards; a power of two so the shard of a key is
+/// a mask of its low bits. Keys are already uniformly hashed, so 16 shards
+/// cut contention ~16× under a many-key stampede.
+const IN_FLIGHT_SHARDS: usize = 16;
+
+/// One shard of the single-flight table: the keys in flight on this shard,
+/// each mapped to its waiters' slot. The shard lock is held only for
+/// slot insertion/removal/cloning — never across planning or waiting.
+#[derive(Debug, Default)]
+struct InFlightShard {
+    slots: StdMutex<HashMap<u64, Arc<WaitSlot>>>,
+}
+
+/// The per-key wait slot: waiters for a key sleep on *this* condvar, and
+/// only the key's leader wakes them — a stampede on one key never disturbs
+/// threads planning other keys.
+#[derive(Debug, Default)]
+struct WaitSlot {
+    done: StdMutex<bool>,
+    cv: StdCondvar,
+}
+
+impl WaitSlot {
+    /// Blocks until the key's leader marks the slot done (panic-safe via
+    /// the leader's [`InFlightGuard`]).
+    fn wait(&self) {
+        let mut done = self.done.lock().unwrap_or_else(|e| e.into_inner());
+        while !*done {
+            done = self.cv.wait(done).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+}
+
+/// Removes the leader's key from its shard and wakes the key's waiters when
+/// the planning leader is done — on success, error or panic alike, so a
+/// failed leader can never strand its waiters.
 struct InFlightGuard<'s> {
-    set: &'s StdMutex<HashSet<u64>>,
-    cv: &'s StdCondvar,
+    shard: &'s InFlightShard,
+    slot: Arc<WaitSlot>,
     key: u64,
 }
 
 impl Drop for InFlightGuard<'_> {
     fn drop(&mut self) {
-        let mut set = self.set.lock().unwrap_or_else(|e| e.into_inner());
-        set.remove(&self.key);
-        self.cv.notify_all();
+        let mut slots = self.shard.slots.lock().unwrap_or_else(|e| e.into_inner());
+        slots.remove(&self.key);
+        drop(slots);
+        let mut done = self.slot.done.lock().unwrap_or_else(|e| e.into_inner());
+        *done = true;
+        self.slot.cv.notify_all();
     }
 }
 
@@ -491,12 +591,19 @@ impl<'a> PlanningSession<'a> {
             config,
             topology_fingerprint,
             cache: RwLock::new(LruCache::default()),
-            in_flight: StdMutex::new(HashSet::new()),
-            in_flight_cv: StdCondvar::new(),
+            fuzzy: RwLock::new(LruCache::default()),
+            in_flight: (0..IN_FLIGHT_SHARDS)
+                .map(|_| InFlightShard::default())
+                .collect(),
             cache_lock_acquisitions: AtomicU64::new(0),
             last_best_ordering: Mutex::new(None),
             stats: Mutex::new(SessionStats::default()),
         }
+    }
+
+    /// The single-flight shard responsible for `key`.
+    fn in_flight_shard(&self, key: u64) -> &InFlightShard {
+        &self.in_flight[(key as usize) & (IN_FLIGHT_SHARDS - 1)]
     }
 
     /// The plan-cache key of a request: its [`WorkloadSignature`] with the
@@ -507,6 +614,18 @@ impl<'a> PlanningSession<'a> {
             .signature()
             .with_topology(self.topology_fingerprint)
             .as_u64()
+    }
+
+    /// The fuzzy-cache key of a request under the session's bucketing
+    /// config: its quantised [`CanonicalSignature`] with the topology
+    /// fingerprint folded in. `None` when the fuzzy tier is disabled.
+    pub fn fuzzy_key(&self, request: &PlanRequest) -> Option<u64> {
+        let bucketing = self.config.bucketing?;
+        Some(
+            CanonicalSignature::of(request.microbatches(), &bucketing)
+                .with_topology(self.topology_fingerprint)
+                .as_u64(),
+        )
     }
 
     /// The underlying planner, for read access (timing model, partition
@@ -547,27 +666,36 @@ impl<'a> PlanningSession<'a> {
         *self.stats.lock()
     }
 
-    /// Number of plans currently cached.
+    /// Number of plans currently cached (exact tier).
     pub fn cached_plans(&self) -> usize {
         self.cache.read().len()
     }
 
-    /// Drops every cached plan and the warm-start state.
+    /// Number of fuzzy anchor plans currently cached (one per bucket seen).
+    pub fn fuzzy_anchors(&self) -> usize {
+        self.fuzzy.read().len()
+    }
+
+    /// Drops every cached plan (exact and fuzzy) and the warm-start state.
     pub fn clear(&mut self) {
         self.cache.write().clear();
+        self.fuzzy.write().clear();
         *self.last_best_ordering.lock() = None;
     }
 
-    /// Plans one iteration, serving repeated workload signatures from the
-    /// cache and warm-starting the search otherwise. Takes `&self`; see the
-    /// [module docs](self) on thread safety.
+    /// Plans one iteration through the three-tier lookup: exact cache hit
+    /// → fuzzy hit with delta replanning (when [`SessionConfig::bucketing`]
+    /// is enabled) → cold plan. Takes `&self`; see the [module docs](self)
+    /// on thread safety.
     ///
     /// Fresh signatures are planned **single-flight**: when several threads
     /// miss on the same key concurrently, exactly one runs the planner and
-    /// the rest sleep until its plan lands in the cache, then serve it as a
-    /// hit — a repeated shape never pays the planner twice, even under a
-    /// cache stampede. The hit path takes exactly one cache-lock
-    /// acquisition (lookup and LRU touch under one write lock).
+    /// the rest sleep on that key's wait slot until its plan lands in the
+    /// cache, then serve it as a hit — a repeated shape never pays the
+    /// planner twice, even under a cache stampede, and stampedes on
+    /// distinct keys proceed independently through the sharded in-flight
+    /// table. The exact-hit path takes exactly one cache-lock acquisition
+    /// (lookup and LRU touch under one write lock).
     ///
     /// # Errors
     ///
@@ -584,42 +712,44 @@ impl<'a> PlanningSession<'a> {
         let key = signature.with_topology(self.topology_fingerprint).as_u64();
 
         if self.config.cache_capacity == 0 {
-            // Caching disabled: nothing to deduplicate against.
-            return self.plan_fresh(request, signature, key, start);
+            // Caching disabled: nothing to deduplicate or anchor against.
+            return self.plan_fresh(request, signature, key, None, start);
         }
 
         if let Some(outcome) = self.try_cached(key, signature, start) {
             return Ok(outcome);
         }
 
-        // Single-flight: become the planning leader for this key, or wait
-        // for the current leader and serve its freshly cached plan.
-        let mut in_flight = self.in_flight.lock().unwrap_or_else(|e| e.into_inner());
-        loop {
-            if in_flight.insert(key) {
-                break;
+        // Single-flight on the exact key: become the planning leader, or
+        // wait on the key's slot for the current leader and serve its
+        // freshly cached plan. Fuzzy delta replans run under the same
+        // leadership, so a stampeded near-identical shape delta-replans
+        // exactly once too.
+        let shard = self.in_flight_shard(key);
+        let slot = loop {
+            let (slot, leader) = {
+                let mut slots = shard.slots.lock().unwrap_or_else(|e| e.into_inner());
+                match slots.entry(key) {
+                    Entry::Occupied(occupied) => (Arc::clone(occupied.get()), false),
+                    Entry::Vacant(vacant) => {
+                        let slot = Arc::new(WaitSlot::default());
+                        vacant.insert(Arc::clone(&slot));
+                        (slot, true)
+                    }
+                }
+            };
+            if leader {
+                // We inserted the slot: we are this key's leader.
+                break slot;
             }
-            in_flight = self
-                .in_flight_cv
-                .wait(in_flight)
-                .unwrap_or_else(|e| e.into_inner());
-            if in_flight.contains(&key) {
-                continue;
-            }
-            drop(in_flight);
+            slot.wait();
             if let Some(outcome) = self.try_cached(key, signature, start) {
                 return Ok(outcome);
             }
             // The leader failed (or its plan was already evicted): try to
             // become the leader ourselves.
-            in_flight = self.in_flight.lock().unwrap_or_else(|e| e.into_inner());
-        }
-        drop(in_flight);
-        let _guard = InFlightGuard {
-            set: &self.in_flight,
-            cv: &self.in_flight_cv,
-            key,
         };
+        let _guard = InFlightGuard { shard, slot, key };
         // A previous leader may have cached the plan between our initial
         // lookup and the leadership acquisition — re-check so a late
         // arrival never replans a cached signature (this is what makes
@@ -627,7 +757,23 @@ impl<'a> PlanningSession<'a> {
         if let Some(outcome) = self.try_cached(key, signature, start) {
             return Ok(outcome);
         }
-        self.plan_fresh(request, signature, key, start)
+
+        // Fuzzy tier: an in-bucket anchor serves the request by delta
+        // replanning. A structurally incompatible anchor (different
+        // segment or microbatch count can share a bucket only across
+        // placement changes) falls through to a cold plan.
+        let fuzzy_key = self.fuzzy_key(request);
+        if let Some(fuzzy_key) = fuzzy_key {
+            if let Some(anchor) = self.fuzzy.write().get(fuzzy_key) {
+                if let Ok(plan) = self
+                    .planner
+                    .plan_iteration_delta(request.microbatches(), &anchor)
+                {
+                    return Ok(self.finish_fuzzy(plan, signature, key, start));
+                }
+            }
+        }
+        self.plan_fresh(request, signature, key, fuzzy_key, start)
     }
 
     /// The cache hit path: lookup and LRU touch under a single cache-lock
@@ -647,6 +793,7 @@ impl<'a> PlanningSession<'a> {
         // The plan is identical to the cached original; only the
         // bookkeeping reflects the (near-zero) cost of serving it.
         plan.stats.cache_hit = true;
+        plan.stats.tier = PlanTier::Exact;
         plan.stats.planning_time = start.elapsed();
         plan.stats.partition_time = Duration::ZERO;
         plan.stats.graph_build_time = Duration::ZERO;
@@ -655,22 +802,76 @@ impl<'a> PlanningSession<'a> {
         plan.stats.memopt_time = Duration::ZERO;
         let mut stats = self.stats.lock();
         stats.requests += 1;
-        stats.cache_hits += 1;
+        stats.exact_hits += 1;
         stats.planning_time += plan.stats.planning_time;
+        stats.exact_hit_time += plan.stats.planning_time;
         drop(stats);
         Some(PlanOutcome {
             plan,
             signature,
             cache_hit: true,
+            tier: PlanTier::Exact,
         })
     }
 
-    /// Runs the planner for a fresh signature and caches the result.
+    /// Books a successful delta replan: the plan is cached under its exact
+    /// key (tiering the shape up, so the next identical request is an exact
+    /// hit), the warm-start seed advances, and the fuzzy-tier counters and
+    /// latency split are updated. The bucket's anchor is deliberately left
+    /// untouched — every delta replan stays one step from a cold plan.
+    fn finish_fuzzy(
+        &self,
+        mut plan: DipPlan,
+        signature: WorkloadSignature,
+        key: u64,
+        start: Instant,
+    ) -> PlanOutcome {
+        plan.stats.planning_time = start.elapsed();
+        *self.last_best_ordering.lock() = Some(ordering_from_priorities(&plan.segment_priorities));
+        self.cache_lock_acquisitions
+            .fetch_add(1, AtomicOrdering::Relaxed);
+        let evicted = self
+            .cache
+            .write()
+            .insert(key, plan.clone(), self.config.cache_capacity);
+
+        let mut stats = self.stats.lock();
+        stats.requests += 1;
+        stats.fuzzy_hits += 1;
+        // A delta search always evaluates the identity and the anchor's
+        // seed ordering (2+ evaluations); the verbatim zero-budget path
+        // performs exactly one interleave pass.
+        if plan.stats.search_evaluations > 1 {
+            stats.delta_replans += 1;
+        }
+        stats.evictions += evicted;
+        stats.planning_time += plan.stats.planning_time;
+        stats.fuzzy_plan_time += plan.stats.planning_time;
+        stats.partition_time += plan.stats.partition_time;
+        stats.graph_build_time += plan.stats.graph_build_time;
+        stats.graph_build_cpu_time += plan.stats.graph_build_cpu_time;
+        stats.search_time += plan.stats.search_time;
+        stats.search_cpu_time += plan.stats.search_cpu_time;
+        stats.memopt_time += plan.stats.memopt_time;
+        drop(stats);
+
+        PlanOutcome {
+            plan,
+            signature,
+            cache_hit: false,
+            tier: PlanTier::Fuzzy,
+        }
+    }
+
+    /// Runs the planner for a fresh signature and caches the result; when
+    /// the fuzzy tier is enabled and the plan's bucket has no anchor yet,
+    /// the new cold plan becomes the bucket's anchor.
     fn plan_fresh(
         &self,
         request: &PlanRequest,
         signature: WorkloadSignature,
         key: u64,
+        fuzzy_key: Option<u64>,
         _start: Instant,
     ) -> Result<PlanOutcome, DipError> {
         let seed = if self.config.warm_start {
@@ -685,7 +886,8 @@ impl<'a> PlanningSession<'a> {
             Ok(plan) => plan,
             Err(err) => {
                 // A failed fresh plan still counts as a miss, keeping
-                // `requests == cache_hits + cache_misses` exact.
+                // `requests == exact_hits + fuzzy_hits + cache_misses`
+                // exact.
                 let mut stats = self.stats.lock();
                 stats.requests += 1;
                 stats.cache_misses += 1;
@@ -703,6 +905,15 @@ impl<'a> PlanningSession<'a> {
         } else {
             0
         };
+        if let Some(fuzzy_key) = fuzzy_key {
+            // First cold plan in a bucket wins as the anchor; later cold
+            // plans (evictions aside) never replace it, so delta regret is
+            // measured against a stable reference.
+            let mut fuzzy = self.fuzzy.write();
+            if fuzzy.get(fuzzy_key).is_none() {
+                fuzzy.insert(fuzzy_key, plan.clone(), self.config.cache_capacity);
+            }
+        }
 
         let mut stats = self.stats.lock();
         stats.requests += 1;
@@ -712,6 +923,7 @@ impl<'a> PlanningSession<'a> {
             stats.warm_started_plans += 1;
         }
         stats.planning_time += plan.stats.planning_time;
+        stats.cold_plan_time += plan.stats.planning_time;
         stats.partition_time += plan.stats.partition_time;
         stats.graph_build_time += plan.stats.graph_build_time;
         stats.graph_build_cpu_time += plan.stats.graph_build_cpu_time;
@@ -725,6 +937,7 @@ impl<'a> PlanningSession<'a> {
             plan,
             signature,
             cache_hit: false,
+            tier: PlanTier::Cold,
         })
     }
 
@@ -1018,7 +1231,7 @@ mod tests {
 
         let stats = session.stats();
         assert_eq!(stats.requests, 2);
-        assert_eq!(stats.cache_hits, 1);
+        assert_eq!(stats.exact_hits, 1);
         assert_eq!(stats.cache_misses, 1);
         assert!((stats.hit_rate() - 0.5).abs() < 1e-12);
     }
@@ -1045,9 +1258,9 @@ mod tests {
         let (cold_total, cold_stats) = run(SessionConfig::cold());
         let (cached_total, cached_stats) = run(SessionConfig::default());
 
-        assert_eq!(cold_stats.cache_hits, 0);
+        assert_eq!(cold_stats.exact_hits, 0);
         assert_eq!(
-            cached_stats.cache_hits, 6,
+            cached_stats.exact_hits, 6,
             "6 of 8 iterations repeat a shape"
         );
         assert!(
@@ -1062,7 +1275,7 @@ mod tests {
         let cluster = ClusterSpec::h800_cluster(2);
         let config = SessionConfig {
             cache_capacity: 1,
-            warm_start: true,
+            ..SessionConfig::default()
         };
         let session = session(&spec, &cluster, config);
         let a = request(&[8, 32]);
@@ -1163,8 +1376,168 @@ mod tests {
             stats.cache_misses, 1,
             "single-flight: exactly one thread runs the planner"
         );
-        assert_eq!(stats.cache_hits, threads as u64 - 1);
+        assert_eq!(stats.exact_hits, threads as u64 - 1);
         assert_eq!(session.cached_plans(), 1);
+    }
+
+    /// An in-bucket neighbour of `vlm_batch(images)`: the text tokens are
+    /// jittered by `dt` (well under the default 512-token bucket), so the
+    /// exact signature differs but the canonical signature matches.
+    fn vlm_batch_jittered(images: u64, dt: u64) -> BatchWorkload {
+        BatchWorkload::new()
+            .with(
+                Modality::Text,
+                ModalityWorkload::new(8192 - images * 169 + dt, 1),
+            )
+            .with(Modality::Image, ModalityWorkload::new(images * 169, images))
+    }
+
+    #[test]
+    fn fuzzy_hit_delta_replans_without_memory_ilp() {
+        let spec = zoo::vlm_s();
+        let cluster = ClusterSpec::h800_cluster(2);
+        let session = session(&spec, &cluster, SessionConfig::fuzzy());
+        let base = request(&[8, 32]);
+        let neighbour = PlanRequest::new(vec![vlm_batch_jittered(8, 7), vlm_batch_jittered(32, 3)]);
+        assert_ne!(base.signature(), neighbour.signature());
+        assert_eq!(session.fuzzy_key(&base), session.fuzzy_key(&neighbour));
+
+        let cold = session.plan(&base).unwrap();
+        assert_eq!(cold.tier, PlanTier::Cold);
+        assert_eq!(
+            session.fuzzy_anchors(),
+            1,
+            "the cold plan anchors its bucket"
+        );
+
+        let fuzzy = session.plan(&neighbour).unwrap();
+        assert_eq!(fuzzy.tier, PlanTier::Fuzzy);
+        assert!(!fuzzy.cache_hit, "a fuzzy hit is not an exact hit");
+        assert_eq!(fuzzy.plan.stats.tier, PlanTier::Fuzzy);
+        // The delta path reuses the anchor's memory plan and splits and
+        // never runs the memory ILP.
+        assert_eq!(fuzzy.plan.memory_plan, cold.plan.memory_plan);
+        assert_eq!(fuzzy.plan.sub_microbatches, cold.plan.sub_microbatches);
+        assert_eq!(fuzzy.plan.stats.memopt_cpu_time, Duration::ZERO);
+        assert!(fuzzy.plan.stats.warm_started);
+        // The delta plan is priced against the *real* shape, not the
+        // anchor's: the graph timings differ.
+        assert!(session.simulate(&fuzzy.plan).is_ok());
+
+        let stats = session.stats();
+        assert_eq!(stats.requests, 2);
+        assert_eq!(stats.cache_misses, 1, "a fuzzy hit is not a miss");
+        assert_eq!(stats.fuzzy_hits, 1);
+        assert_eq!(stats.exact_hits, 0);
+        assert_eq!(stats.delta_replans, 1, "the default delta budget searches");
+        assert!(stats.fuzzy_plan_time > Duration::ZERO);
+        assert_eq!(
+            stats.requests,
+            stats.exact_hits + stats.fuzzy_hits + stats.cache_misses
+        );
+
+        // Tier-up: the delta plan was cached under its exact key, so the
+        // identical request is now an exact hit.
+        let repeat = session.plan(&neighbour).unwrap();
+        assert_eq!(repeat.tier, PlanTier::Exact);
+        assert!(repeat.cache_hit);
+        assert_eq!(repeat.plan.orders, fuzzy.plan.orders);
+        // The bucket's anchor is still the original cold plan.
+        assert_eq!(session.fuzzy_anchors(), 1);
+    }
+
+    #[test]
+    fn zero_delta_budget_serves_the_anchor_verbatim() {
+        let spec = zoo::vlm_s();
+        let cluster = ClusterSpec::h800_cluster(2);
+        let mut planner_config = PlannerConfig::fast();
+        planner_config.search.delta_budget = Duration::ZERO;
+        let session = PlanningSession::with_config(
+            &spec,
+            ParallelConfig::new(4, 4, 1),
+            &cluster,
+            planner_config,
+            SessionConfig::fuzzy(),
+        );
+        let base = request(&[8, 32]);
+        let neighbour = PlanRequest::new(vec![vlm_batch_jittered(8, 5), vlm_batch_jittered(32, 9)]);
+
+        let cold = session.plan(&base).unwrap();
+        let fuzzy = session.plan(&neighbour).unwrap();
+        assert_eq!(fuzzy.tier, PlanTier::Fuzzy);
+        // Degrades gracefully: the neighbour's ordering is adopted
+        // verbatim — same priorities, memory plan and splits; only the
+        // graph is re-priced for the real shape.
+        assert_eq!(fuzzy.plan.segment_priorities, cold.plan.segment_priorities);
+        assert_eq!(fuzzy.plan.memory_plan, cold.plan.memory_plan);
+        assert_eq!(fuzzy.plan.sub_microbatches, cold.plan.sub_microbatches);
+        let stats = session.stats();
+        assert_eq!(stats.fuzzy_hits, 1);
+        assert_eq!(stats.delta_replans, 0, "no search ran under a zero budget");
+    }
+
+    #[test]
+    fn incompatible_anchor_falls_back_to_a_cold_plan() {
+        let spec = zoo::vlm_s();
+        let cluster = ClusterSpec::h800_cluster(2);
+        // Bucket the microbatch *token* dimension so wide that two requests
+        // with different microbatch counts still differ (count is always
+        // exact), but craft a same-bucket pair whose anchor is fine — then
+        // check the structural guard directly on the planner.
+        let session = session(&spec, &cluster, SessionConfig::fuzzy());
+        let cold = session.plan(&request(&[8, 32])).unwrap();
+        // A request with a different microbatch count can never reuse the
+        // anchor's splits; the planner rejects it and the session would
+        // plan cold.
+        let err = session
+            .planner()
+            .plan_iteration_delta(request(&[8, 32, 4]).microbatches(), &cold.plan)
+            .unwrap_err();
+        assert!(matches!(err, DipError::InvalidRequest(_)));
+    }
+
+    #[test]
+    fn sharded_single_flight_plans_each_stampeded_key_once() {
+        let spec = zoo::vlm_s();
+        let cluster = ClusterSpec::h800_cluster(2);
+        let session = session(&spec, &cluster, SessionConfig::default());
+        // Pin the placement so the workers don't race the offline phase.
+        session
+            .planner()
+            .offline_partition_if_absent(&vlm_batch(40))
+            .unwrap();
+        // Two distinct cold keys, four threads stampeding each: the
+        // sharded in-flight table must plan each key exactly once, and a
+        // stampede on one key must not serialize or wake the other's.
+        let keys = [request(&[8, 32]), request(&[40, 4])];
+        const THREADS_PER_KEY: usize = 4;
+        let barrier = std::sync::Barrier::new(keys.len() * THREADS_PER_KEY);
+        crossbeam::scope(|scope| {
+            for req in &keys {
+                for _ in 0..THREADS_PER_KEY {
+                    let barrier = &barrier;
+                    let session = &session;
+                    scope.spawn(move |_| {
+                        barrier.wait();
+                        let outcome = session.plan(req).unwrap();
+                        assert_eq!(outcome.signature, req.signature());
+                    });
+                }
+            }
+        })
+        .unwrap();
+        let stats = session.stats();
+        assert_eq!(stats.requests, (keys.len() * THREADS_PER_KEY) as u64);
+        assert_eq!(
+            stats.cache_misses,
+            keys.len() as u64,
+            "exactly-once planning per stampeded key"
+        );
+        assert_eq!(
+            stats.exact_hits,
+            (keys.len() * (THREADS_PER_KEY - 1)) as u64
+        );
+        assert_eq!(session.cached_plans(), keys.len());
     }
 
     #[test]
@@ -1225,7 +1598,10 @@ mod tests {
         // the cache or raced its twin, but is cached afterwards either way.
         let stats = parallel.stats();
         assert_eq!(stats.requests, 4);
-        assert_eq!(stats.requests, stats.cache_hits + stats.cache_misses);
+        assert_eq!(
+            stats.requests,
+            stats.exact_hits + stats.fuzzy_hits + stats.cache_misses
+        );
         assert!(parallel.plan(&requests[0]).unwrap().cache_hit);
     }
 

@@ -32,6 +32,7 @@ mod dynamic;
 mod generator;
 mod packing;
 mod sample;
+mod zipf;
 
 pub use datasets::{DatasetKind, DatasetMix, DatasetModel, DatasetStats};
 pub use dynamic::{
@@ -40,3 +41,4 @@ pub use dynamic::{
 pub use generator::{BatchGenerator, TrainingBatch};
 pub use packing::{pack_t2v, pack_vlm, Microbatch, T2vPackingConfig, VlmPackingConfig};
 pub use sample::{DataSample, ImageInstance, VideoClip};
+pub use zipf::ZipfSampler;

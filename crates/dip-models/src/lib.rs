@@ -30,6 +30,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+mod canonical;
 mod cost;
 mod error;
 mod layer;
@@ -40,6 +41,7 @@ mod workload;
 
 pub mod zoo;
 
+pub use canonical::{BucketingConfig, CanonicalSignature};
 pub use cost::{LayerCost, StagePairCost};
 pub use error::ModelError;
 pub use layer::{

@@ -124,6 +124,14 @@ impl SubMicrobatchPlan {
     pub fn num_segments(&self) -> usize {
         self.splits.len()
     }
+
+    /// Number of microbatches covered by the plan (the width of the split
+    /// table; 0 for an empty plan). Plan-reuse paths check this against a
+    /// new request's microbatch count before adopting a cached plan's
+    /// splits.
+    pub fn num_microbatches(&self) -> usize {
+        self.splits.first().map_or(0, Vec::len)
+    }
 }
 
 /// Flat arena storage backing a [`StageGraph`]: the item slab, the CSR

@@ -67,7 +67,7 @@ fn second_pass_over_a_replayed_trace_is_served_from_the_cache() {
     }
     let stats = session.stats();
     assert_eq!(stats.requests, 8);
-    assert_eq!(stats.cache_hits, 4);
+    assert_eq!(stats.exact_hits, 4);
     assert_eq!(stats.cache_misses, 4);
 }
 
@@ -146,11 +146,81 @@ fn shared_session_serves_eight_threads_with_exact_totals() {
 
     let stats = session.stats();
     assert_eq!(stats.requests, (shapes.len() + THREADS * ROUNDS) as u64);
-    assert_eq!(stats.cache_hits, (THREADS * ROUNDS) as u64);
+    assert_eq!(stats.exact_hits, (THREADS * ROUNDS) as u64);
     assert_eq!(stats.cache_misses, shapes.len() as u64);
     assert_eq!(stats.evictions, 0);
-    assert_eq!(stats.requests, stats.cache_hits + stats.cache_misses);
+    assert_eq!(
+        stats.requests,
+        stats.exact_hits + stats.fuzzy_hits + stats.cache_misses
+    );
     assert_eq!(session.cached_plans(), shapes.len());
+}
+
+/// Eight threads hammer a fuzzy-enabled session with *fresh* in-bucket
+/// jitter variants of two pre-anchored base shapes: no request repeats an
+/// exact signature, so every one must be served by the fuzzy tier, and the
+/// tier totals must partition the request count exactly — a fuzzy hit is
+/// neither an exact hit nor a miss.
+#[test]
+fn fuzzy_tier_totals_partition_requests_under_contention() {
+    use dip_bench::vlm_batch_jittered;
+    use dip_core::{BucketingConfig, PlanTier};
+
+    let spec = zoo::vlm_s();
+    let cluster = ClusterSpec::h800_cluster(2);
+    let parallel = ParallelConfig::new(4, 4, 1);
+    let session = PlanningSession::with_config(
+        &spec,
+        parallel,
+        &cluster,
+        planner_config(),
+        SessionConfig::fuzzy(),
+    );
+    let bucketing = BucketingConfig::default();
+    let base = |images| {
+        PlanRequest::new(vec![
+            vlm_batch_jittered(images, 0, &bucketing),
+            vlm_batch_jittered(images + 16, 0, &bucketing),
+        ])
+    };
+    // Anchor both buckets with cold plans.
+    for images in [8u64, 11] {
+        assert_eq!(session.plan(&base(images)).unwrap().tier, PlanTier::Cold);
+    }
+
+    const THREADS: usize = 8;
+    const ROUNDS: usize = 6;
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let session = &session;
+            let bucketing = &bucketing;
+            scope.spawn(move || {
+                for i in 0..ROUNDS {
+                    // A unique in-bucket jitter per (thread, round): fresh
+                    // exact signature, same canonical bucket.
+                    let dt = (t * ROUNDS + i + 1) as u64;
+                    let images = if (t + i) % 2 == 0 { 8 } else { 11 };
+                    let request = PlanRequest::new(vec![
+                        vlm_batch_jittered(images, dt, bucketing),
+                        vlm_batch_jittered(images + 16, dt, bucketing),
+                    ]);
+                    let outcome = session.plan(&request).unwrap();
+                    assert_eq!(outcome.tier, PlanTier::Fuzzy, "thread {t} round {i}");
+                    assert!(!outcome.cache_hit, "a fuzzy hit is not an exact hit");
+                }
+            });
+        }
+    });
+
+    let stats = session.stats();
+    assert_eq!(stats.requests, (2 + THREADS * ROUNDS) as u64);
+    assert_eq!(stats.fuzzy_hits, (THREADS * ROUNDS) as u64);
+    assert_eq!(stats.exact_hits, 0);
+    assert_eq!(stats.cache_misses, 2, "a fuzzy hit is not a miss");
+    assert_eq!(
+        stats.requests,
+        stats.exact_hits + stats.fuzzy_hits + stats.cache_misses
+    );
 }
 
 /// `plan_many` plans a whole trace through the worker pool and returns the
@@ -180,7 +250,10 @@ fn plan_many_plans_a_trace_concurrently_in_request_order() {
     }
     let stats = session.stats();
     assert_eq!(stats.requests, requests.len() as u64);
-    assert_eq!(stats.requests, stats.cache_hits + stats.cache_misses);
+    assert_eq!(
+        stats.requests,
+        stats.exact_hits + stats.fuzzy_hits + stats.cache_misses
+    );
     // The trace repeats each of the 4 shapes twice; every shape is planned
     // at least once, and afterwards every shape is cached.
     assert!(stats.cache_misses >= 4);
