@@ -3,16 +3,24 @@
 //! row showing the effect of seeding the search with a previous iteration's
 //! best ordering (the planning-session layer does this automatically on
 //! every cache miss).
+//!
+//! Beyond quality, the table doubles as the evaluation-kernel throughput
+//! bench: the evaluations/sec and mean-kernel-wall-per-evaluation columns
+//! measure the zero-allocation workspace interleaver the search workers
+//! run, and the exported `search.kernel_identity` flag asserts the
+//! fixed-seed search result is bit-identical to a fresh allocating
+//! `schedule()` pass over the winning priorities (workspace reuse must
+//! never change a plan).
 
-use dip_bench::{print_table, vlm_batches_from_datasets, ExperimentScale};
+use dip_bench::{print_table, vlm_batches_from_datasets, BenchReport, ExperimentScale, MetricKind};
 use dip_core::{
     ordering_from_priorities, search_ordering, ModalityAwarePartitioner, OrderingSearchConfig,
     PartitionerConfig, SearchStrategy,
 };
 use dip_models::zoo;
-use dip_pipeline::{DualQueueConfig, ParallelConfig, StageGraphBuilder};
+use dip_pipeline::{dual_queue, DualQueueConfig, ParallelConfig, StageGraphBuilder};
 use dip_sim::{ClusterSpec, EfficiencyModel, TimingModel};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 fn main() {
     let scale = ExperimentScale::from_env();
@@ -36,35 +44,54 @@ fn main() {
         .map(|s| cluster.gpu.usable_memory().saturating_sub(*s))
         .collect();
 
+    let base_queue = DualQueueConfig {
+        memory_limit: Some(budget.clone()),
+        ..DualQueueConfig::default()
+    };
     let base_config = |strategy: SearchStrategy| OrderingSearchConfig {
         strategy,
         time_budget: Duration::from_millis(scale.search_ms),
         workers: scale.workers,
-        dual_queue: DualQueueConfig {
-            memory_limit: Some(budget.clone()),
-            ..DualQueueConfig::default()
-        },
+        dual_queue: base_queue.clone(),
         ..OrderingSearchConfig::default()
     };
+
+    let mut report = BenchReport::from_env("fig11_search_progress");
 
     // Cold MCTS first; its best ordering then seeds the warm-started run,
     // mimicking two consecutive planner iterations with similar shapes.
     let mut seed_ordering: Option<Vec<usize>> = None;
+    let mut kernel_identity = true;
     let mut rows = Vec::new();
-    for (name, strategy, warm) in [
-        ("DIP (MCTS)", SearchStrategy::Mcts, false),
-        ("DIP (MCTS, warm)", SearchStrategy::Mcts, true),
-        ("DFS", SearchStrategy::Dfs, false),
-        ("Random", SearchStrategy::Random, false),
+    for (name, key, strategy, warm) in [
+        ("DIP (MCTS)", "mcts", SearchStrategy::Mcts, false),
+        ("DIP (MCTS, warm)", "mcts_warm", SearchStrategy::Mcts, true),
+        ("DFS", "dfs", SearchStrategy::Dfs, false),
+        ("Random", "random", SearchStrategy::Random, false),
     ] {
         let mut config = base_config(strategy);
         if warm {
             config.seed_ordering = seed_ordering.clone();
         }
+        let wall_start = Instant::now();
         let result = search_ordering(&graph, output.placement.segments.len(), &config);
+        let wall = wall_start.elapsed();
         if strategy == SearchStrategy::Mcts && !warm {
             seed_ordering = Some(ordering_from_priorities(&result.segment_priorities));
         }
+
+        // Kernel-identity witness: re-interleave the winning priorities
+        // through the allocating `schedule()` wrapper (the pre-workspace
+        // baseline path) — the searched orders and makespan must match it
+        // bit for bit, on every strategy.
+        let check_queue = DualQueueConfig {
+            segment_priorities: result.segment_priorities.clone(),
+            ..base_queue.clone()
+        };
+        let (check_orders, check_makespan) = dual_queue::schedule(&graph, &check_queue);
+        kernel_identity &= check_orders == result.orders
+            && check_makespan.to_bits() == result.best_time_s.to_bits();
+
         let best_within = |cutoff: Duration| {
             result
                 .progress
@@ -78,15 +105,55 @@ fn main() {
         // few milliseconds.
         let start_incumbent = best_within(Duration::from_millis(scale.search_ms / 20));
         let halfway = best_within(Duration::from_millis(scale.search_ms / 2));
+        // Kernel throughput: evaluations over the search's wall time, and
+        // the mean kernel wall per evaluation from the summed per-stream
+        // task time (what one evaluation costs a worker, amortised).
+        let evals_per_sec = result.evaluations as f64 / wall.as_secs_f64().max(1e-9);
+        let eval_wall_us = result.cpu_time.as_secs_f64() / (result.evaluations.max(1) as f64) * 1e6;
         rows.push(vec![
             name.to_string(),
             format!("{:.3}", result.best_time_s),
             format!("{:.3}", halfway),
             format!("{:.3}", start_incumbent),
             result.evaluations.to_string(),
+            result.pruned_evaluations.to_string(),
             result.progress.len().to_string(),
+            format!("{evals_per_sec:.0}"),
+            format!("{eval_wall_us:.1}"),
         ]);
+
+        report.push(
+            format!("search.{key}.best_time_s"),
+            MetricKind::SimTime,
+            "s",
+            result.best_time_s,
+        );
+        report.push(
+            format!("search.{key}.evaluations"),
+            MetricKind::Determinism,
+            "count",
+            result.evaluations as f64,
+        );
+        report.push(
+            format!("search.{key}.pruned_evaluations"),
+            MetricKind::Determinism,
+            "count",
+            result.pruned_evaluations as f64,
+        );
+        report.push(
+            format!("search.{key}.evals_per_sec"),
+            MetricKind::Info,
+            "1/s",
+            evals_per_sec,
+        );
+        report.push(
+            format!("search.{key}.eval_wall_us"),
+            MetricKind::Info,
+            "us",
+            eval_wall_us,
+        );
     }
+    report.push_flag("search.kernel_identity", kernel_identity);
     print_table(
         "Fig. 11 — search progress on VLM-L (lower best time is better)",
         &[
@@ -95,10 +162,18 @@ fn main() {
             "Best at half budget (s)",
             "Start incumbent (s)",
             "Evaluations",
+            "Pruned",
             "Improvements",
+            "Evals/s",
+            "Kernel wall/eval (µs)",
         ],
         &rows,
     );
     println!("Expected shape (paper): MCTS reaches near-optimal schedules fastest; DFS and random lag behind.");
     println!("Expected shape (session layer): the warm-started run's start incumbent already equals the cold run's best, so it only has to improve from there.");
+    println!(
+        "Kernel identity (workspace search result == allocating re-interleave): {}",
+        if kernel_identity { "OK" } else { "MISMATCH" }
+    );
+    report.write_if_requested();
 }

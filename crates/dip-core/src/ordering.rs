@@ -36,7 +36,9 @@
 //! [`dip_sim::CostModel::fit`] to tighten the correspondence — the plan
 //! only changes if the *quota* changes, never with the machine.)
 
-use dip_pipeline::{dual_queue, DualQueueConfig, RankOrders, StageGraph};
+use dip_pipeline::{
+    dual_queue, DualQueueConfig, RankOrders, ScheduleWorkspace, StageGraph, StageId,
+};
 use dip_sim::{CostModel, CostSample};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -107,6 +109,20 @@ pub struct OrderingSearchConfig {
     /// Base dual-queue configuration (memory limits etc.); the searched
     /// segment priorities override its `segment_priorities`.
     pub dual_queue: DualQueueConfig,
+    /// Whether the random and DFS workers bound each evaluation by their
+    /// stream's incumbent via [`dip_pipeline::schedule_bounded`], aborting
+    /// an interleave pass the moment any stage end time exceeds the best
+    /// time the stream has seen. The bound is exact (the makespan is a
+    /// monotone max of stage end times), the incumbent is **per stream**,
+    /// and a pruned evaluation still counts fully against the stream's
+    /// quota — so pruning changes wall-clock time only, never which
+    /// orderings are explored or which plan wins, and fixed-seed
+    /// cross-worker bit-identity is preserved. MCTS ignores this knob: its
+    /// backpropagation needs the true rollout value even when it is worse
+    /// than the incumbent (an aborted pass yields no value to credit the
+    /// tree path with, which would change how the tree grows). Disable
+    /// only to measure the pruning win itself.
+    pub prune_bounded_evaluations: bool,
     /// RNG seed. Stream `s` derives its RNG from `seed` and `s`; stream 0
     /// uses exactly the single-stream RNG.
     pub seed: u64,
@@ -133,6 +149,7 @@ impl Default for OrderingSearchConfig {
             ucb_beta: 0.5,
             ucb_alpha: 1.0,
             dual_queue: DualQueueConfig::default(),
+            prune_bounded_evaluations: true,
             seed: 0,
             seed_ordering: None,
         }
@@ -188,9 +205,16 @@ pub fn calibrate_eval_cost(
 ) -> Option<CostModel> {
     let mut samples = Vec::new();
     let ordering: Vec<usize> = (0..num_segments).collect();
+    // Time the steady-state kernel the search workers actually run: one
+    // warmed-up workspace reused across evaluations (the first, allocating
+    // pass is deliberately left out of the samples).
+    let mut ctx = EvalContext::new(base);
+    if evaluations > 0 {
+        evaluate_into(graph, &ordering, &mut ctx);
+    }
     for _ in 0..evaluations {
         let start = Instant::now();
-        let (_, _, _) = evaluate(graph, &ordering, base);
+        let _ = evaluate_into(graph, &ordering, &mut ctx);
         samples.push(CostSample {
             units: graph.len() as u64,
             seconds: start.elapsed().as_secs_f64(),
@@ -245,6 +269,13 @@ pub struct OrderingResult {
     /// Orderings evaluated by each search stream, in stream-index order.
     /// Empty when the search was skipped (single-segment graphs).
     pub worker_evaluations: Vec<u64>,
+    /// How many of `evaluations` were cut short by the incumbent bound
+    /// (see [`OrderingSearchConfig::prune_bounded_evaluations`]). Pruned
+    /// evaluations still count against every quota, so this is a pure
+    /// wall-clock win: `pruned_evaluations / evaluations` is the fraction
+    /// of interleave passes the search did not have to finish. Always 0
+    /// for MCTS, whose rollouts are never bounded.
+    pub pruned_evaluations: u64,
     /// The deterministic per-stream evaluation quota the search ran under
     /// (0 when the search was skipped).
     pub evaluation_quota: u64,
@@ -262,24 +293,80 @@ pub struct OrderingResult {
     pub orders: RankOrders,
 }
 
-/// Evaluates one ordering: converts it to segment priorities and runs the
-/// dual-queue interleaver, returning the estimated iteration time and orders.
+/// Per-stream evaluation scratch: a reusable [`ScheduleWorkspace`] plus one
+/// pre-cloned [`DualQueueConfig`] whose `segment_priorities` vector is
+/// rewritten in place for every ordering. Each search stream owns one, so
+/// an evaluation in the hot loop performs **zero heap allocations** once
+/// the workspace has warmed up on the graph's shape — the base config is
+/// cloned once per stream, not once per evaluation.
+struct EvalContext {
+    config: DualQueueConfig,
+    ws: ScheduleWorkspace,
+}
+
+impl EvalContext {
+    fn new(base: &DualQueueConfig) -> Self {
+        Self {
+            config: base.clone(),
+            ws: ScheduleWorkspace::new(),
+        }
+    }
+
+    /// Writes `ordering`'s priority assignment (position `i` ⇒ priority
+    /// `n − i`) into the reused config vector.
+    fn set_ordering(&mut self, ordering: &[usize]) {
+        let n = ordering.len();
+        let priorities = &mut self.config.segment_priorities;
+        priorities.clear();
+        priorities.resize(n, 0);
+        for (pos, &seg) in ordering.iter().enumerate() {
+            priorities[seg] = (n - pos) as i64;
+        }
+    }
+
+    /// The priorities written by the last [`Self::set_ordering`].
+    fn priorities(&self) -> &[i64] {
+        &self.config.segment_priorities
+    }
+}
+
+/// Evaluates one ordering through the reusable workspace, returning the
+/// estimated iteration time; the per-rank orders are left in `ctx.ws` and
+/// the priorities in [`EvalContext::priorities`].
+fn evaluate_into(graph: &StageGraph, ordering: &[usize], ctx: &mut EvalContext) -> f64 {
+    ctx.set_ordering(ordering);
+    dual_queue::schedule_into(graph, &ctx.config, &mut ctx.ws)
+}
+
+/// Like [`evaluate_into`] but aborts (returning `None`) as soon as the
+/// partial schedule provably exceeds `cutoff` — see
+/// [`dip_pipeline::schedule_bounded`] for why the bound is exact.
+fn evaluate_bounded(
+    graph: &StageGraph,
+    ordering: &[usize],
+    ctx: &mut EvalContext,
+    cutoff: f64,
+) -> Option<f64> {
+    ctx.set_ordering(ordering);
+    dual_queue::schedule_bounded(graph, &ctx.config, &mut ctx.ws, cutoff)
+}
+
+/// Evaluates one ordering with fresh allocations: the cold-path convenience
+/// used for the identity/warm incumbents (once per search, not per stream).
 fn evaluate(
     graph: &StageGraph,
     ordering: &[usize],
     base: &DualQueueConfig,
 ) -> (f64, RankOrders, Vec<i64>) {
-    let n = ordering.len();
-    let mut priorities = vec![0i64; n];
-    for (pos, &seg) in ordering.iter().enumerate() {
-        priorities[seg] = (n - pos) as i64;
-    }
-    let config = DualQueueConfig {
-        segment_priorities: priorities.clone(),
-        ..base.clone()
-    };
-    let (orders, makespan) = dual_queue::schedule(graph, &config);
-    (makespan, orders, priorities)
+    let mut ctx = EvalContext::new(base);
+    let makespan = evaluate_into(graph, ordering, &mut ctx);
+    let mut orders = RankOrders { orders: Vec::new() };
+    ctx.ws.write_orders_into(&mut orders);
+    (
+        makespan,
+        orders,
+        std::mem::take(&mut ctx.config.segment_priorities),
+    )
 }
 
 /// One stream's private best-so-far state plus its bookkeeping. Streams
@@ -291,6 +378,9 @@ struct WorkerOutcome {
     orders: RankOrders,
     progress: Vec<SearchProgressPoint>,
     evaluations: u64,
+    /// How many of `evaluations` the cutoff bound aborted early. Pruned
+    /// evaluations still count fully against the quota.
+    pruned: u64,
     /// CPU time the stream's task took to execute (filled by the runner;
     /// informational only — never consulted by the search itself).
     cpu: Duration,
@@ -304,6 +394,7 @@ impl WorkerOutcome {
             orders: incumbent.orders.clone(),
             progress: Vec::new(),
             evaluations: 0,
+            pruned: 0,
             cpu: Duration::ZERO,
         }
     }
@@ -313,12 +404,23 @@ impl WorkerOutcome {
         start: Instant,
         time_s: f64,
         priorities: &[i64],
-        orders: &RankOrders,
+        orders: &[Vec<StageId>],
     ) {
         if time_s < self.time_s {
             self.time_s = time_s;
-            self.priorities = priorities.to_vec();
-            self.orders = orders.clone();
+            self.priorities.clear();
+            self.priorities.extend_from_slice(priorities);
+            // Copy the orders reusing the incumbent's allocations: records
+            // are rare (strict improvements only) but there is no reason to
+            // reallocate what is already shaped right.
+            self.orders.orders.truncate(orders.len());
+            while self.orders.orders.len() < orders.len() {
+                self.orders.orders.push(Vec::new());
+            }
+            for (dst, src) in self.orders.orders.iter_mut().zip(orders) {
+                dst.clear();
+                dst.extend_from_slice(src);
+            }
             self.progress.push(SearchProgressPoint {
                 elapsed: start.elapsed(),
                 best_time_s: time_s,
@@ -353,6 +455,7 @@ pub fn search_ordering(
             best_time_s: t0,
         }],
         evaluations: 1,
+        pruned: 0,
         cpu: Duration::ZERO,
     };
 
@@ -366,7 +469,7 @@ pub fn search_ordering(
     if let Some(seed) = warm {
         let (t, o, p) = evaluate(graph, seed, &config.dual_queue);
         incumbent.evaluations += 1;
-        incumbent.record_if_better(start, t, &p, &o);
+        incumbent.record_if_better(start, t, &p, &o.orders);
         warm_time = Some(t);
     }
 
@@ -449,6 +552,7 @@ fn merge_outcomes(
 ) -> OrderingResult {
     let mut evaluations = incumbent.evaluations;
     let mut worker_evaluations = Vec::with_capacity(outcomes.len());
+    let mut pruned_evaluations = 0u64;
     let mut progress = incumbent.progress.clone();
     let mut best_time = incumbent.time_s;
     let mut best_priorities = incumbent.priorities;
@@ -457,6 +561,7 @@ fn merge_outcomes(
     for outcome in &outcomes {
         evaluations += outcome.evaluations;
         worker_evaluations.push(outcome.evaluations);
+        pruned_evaluations += outcome.pruned;
         progress.extend(outcome.progress.iter().copied());
         cpu_time += outcome.cpu;
         if outcome.time_s < best_time {
@@ -486,6 +591,7 @@ fn merge_outcomes(
         best_time_s: best_time,
         evaluations,
         worker_evaluations,
+        pruned_evaluations,
         evaluation_quota: if outcomes.is_empty() { 0 } else { quota },
         cpu_time,
         progress: merged,
@@ -513,12 +619,31 @@ fn random_worker(
     stream: usize,
 ) {
     let mut rng = worker_rng(config.seed, stream);
+    let mut ctx = EvalContext::new(&config.dual_queue);
     let mut ordering: Vec<usize> = (0..num_segments).collect();
     while !local.budget_exhausted(quota) {
         ordering.shuffle(&mut rng);
-        let (t, o, p) = evaluate(graph, &ordering, &config.dual_queue);
-        local.evaluations += 1;
-        local.record_if_better(start, t, &p, &o);
+        // Only strictly-better-than-incumbent results matter here, so the
+        // evaluation is bounded by this stream's own best time: exact
+        // pruning with per-stream incumbents keeps fixed-seed cross-worker
+        // bit-identity (streams never observe each other's progress).
+        let cutoff = if config.prune_bounded_evaluations {
+            local.time_s
+        } else {
+            f64::INFINITY
+        };
+        match evaluate_bounded(graph, &ordering, &mut ctx, cutoff) {
+            Some(t) => {
+                local.evaluations += 1;
+                local.record_if_better(start, t, ctx.priorities(), ctx.ws.orders());
+            }
+            None => {
+                // Provably worse than the incumbent: counts against the
+                // quota exactly like a finished evaluation.
+                local.evaluations += 1;
+                local.pruned += 1;
+            }
+        }
     }
 }
 
@@ -542,6 +667,7 @@ fn dfs_search(
         config: &OrderingSearchConfig,
         quota: u64,
         local: &mut WorkerOutcome,
+        ctx: &mut EvalContext,
         start: Instant,
         prefix: &mut Vec<usize>,
         remaining: &mut Vec<usize>,
@@ -550,19 +676,30 @@ fn dfs_search(
             return;
         }
         if remaining.is_empty() {
-            let (t, o, p) = evaluate(graph, prefix, &config.dual_queue);
+            // DFS only reports its single best ordering, so (like the
+            // random worker) each leaf evaluation is bounded by the
+            // incumbent — exact pruning, identical best plan.
+            let cutoff = if config.prune_bounded_evaluations {
+                local.time_s
+            } else {
+                f64::INFINITY
+            };
             local.evaluations += 1;
-            local.record_if_better(start, t, &p, &o);
+            match evaluate_bounded(graph, prefix, ctx, cutoff) {
+                Some(t) => local.record_if_better(start, t, ctx.priorities(), ctx.ws.orders()),
+                None => local.pruned += 1,
+            }
             return;
         }
         for i in 0..remaining.len() {
             let seg = remaining.remove(i);
             prefix.push(seg);
-            recurse(graph, config, quota, local, start, prefix, remaining);
+            recurse(graph, config, quota, local, ctx, start, prefix, remaining);
             prefix.pop();
             remaining.insert(i, seg);
         }
     }
+    let mut ctx = EvalContext::new(&config.dual_queue);
     let mut prefix = Vec::new();
     let mut remaining: Vec<usize> = (0..num_segments).collect();
     recurse(
@@ -570,6 +707,7 @@ fn dfs_search(
         config,
         quota,
         local,
+        &mut ctx,
         start,
         &mut prefix,
         &mut remaining,
@@ -653,6 +791,7 @@ fn mcts_worker(
     stream: usize,
 ) {
     let mut rng = worker_rng(config.seed, stream);
+    let mut ctx = EvalContext::new(&config.dual_queue);
     let mut tree = MctsTree::new(num_segments);
     if let Some((seed, time_s)) = warm {
         tree.seed_path(seed, time_s);
@@ -726,9 +865,13 @@ fn mcts_worker(
                 .collect();
             rest.shuffle(&mut rng);
             ordering.extend(rest);
-            let (t, o, p) = evaluate(graph, &ordering, &config.dual_queue);
+            // Deliberately unbounded: backpropagation must credit the tree
+            // path with the rollout's *true* time even when it is worse
+            // than the incumbent — a cutoff-aborted rollout would yield no
+            // value and change how the tree grows.
+            let t = evaluate_into(graph, &ordering, &mut ctx);
             local.evaluations += 1;
-            local.record_if_better(start, t, &p, &o);
+            local.record_if_better(start, t, ctx.priorities(), ctx.ws.orders());
             local_best = local_best.min(t);
         }
 

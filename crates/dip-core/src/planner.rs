@@ -168,6 +168,12 @@ pub struct PlannerStats {
     pub memopt_cpu_time: Duration,
     /// Number of schedule candidates evaluated by the searcher.
     pub search_evaluations: u64,
+    /// How many of `search_evaluations` the incumbent cutoff bound aborted
+    /// early (random/DFS strategies only — see
+    /// [`OrderingSearchConfig::prune_bounded_evaluations`]). Pruned
+    /// evaluations still count against every quota, so this is a pure
+    /// wall-clock saving at an unchanged plan.
+    pub search_pruned_evaluations: u64,
     /// Schedule candidates evaluated by each parallel search worker, in
     /// worker-index order (empty when the search was skipped or the graph
     /// has a single segment).
@@ -434,41 +440,51 @@ impl<'a> DipPlanner<'a> {
         // Phase ①+②: segment reordering + stage interleaving.
         let search_start = Instant::now();
         let warm_started = self.config.enable_search && seed_ordering.is_some();
-        let (priorities, orders, evaluations, worker_evaluations, search_cpu_time, planned_time) =
-            if self.config.enable_search {
-                let search_config = OrderingSearchConfig {
-                    dual_queue: base_queue.clone(),
-                    seed_ordering: seed_ordering.map(<[usize]>::to_vec),
-                    ..self.config.search.clone()
-                };
-                let OrderingResult {
-                    segment_priorities,
-                    best_time_s,
-                    evaluations,
-                    worker_evaluations,
-                    cpu_time,
-                    orders,
-                    ..
-                } = search_ordering(&graph, partition.placement.segments.len(), &search_config);
-                (
-                    segment_priorities,
-                    orders,
-                    evaluations,
-                    worker_evaluations,
-                    cpu_time,
-                    best_time_s,
-                )
-            } else {
-                let (orders, makespan) = dual_queue::schedule(&graph, &base_queue);
-                (
-                    vec![0; partition.placement.segments.len()],
-                    orders,
-                    1,
-                    Vec::new(),
-                    Duration::ZERO,
-                    makespan,
-                )
+        let (
+            priorities,
+            orders,
+            evaluations,
+            worker_evaluations,
+            pruned,
+            search_cpu_time,
+            planned_time,
+        ) = if self.config.enable_search {
+            let search_config = OrderingSearchConfig {
+                dual_queue: base_queue.clone(),
+                seed_ordering: seed_ordering.map(<[usize]>::to_vec),
+                ..self.config.search.clone()
             };
+            let OrderingResult {
+                segment_priorities,
+                best_time_s,
+                evaluations,
+                worker_evaluations,
+                pruned_evaluations,
+                cpu_time,
+                orders,
+                ..
+            } = search_ordering(&graph, partition.placement.segments.len(), &search_config);
+            (
+                segment_priorities,
+                orders,
+                evaluations,
+                worker_evaluations,
+                pruned_evaluations,
+                cpu_time,
+                best_time_s,
+            )
+        } else {
+            let (orders, makespan) = dual_queue::schedule(&graph, &base_queue);
+            (
+                vec![0; partition.placement.segments.len()],
+                orders,
+                1,
+                Vec::new(),
+                0,
+                Duration::ZERO,
+                makespan,
+            )
+        };
         let search_time = search_start.elapsed();
 
         // Phase ③: per-layer memory optimisation — the per-rank ILPs run
@@ -525,6 +541,7 @@ impl<'a> DipPlanner<'a> {
                 memopt_cpu_time,
                 search_evaluations: evaluations,
                 search_worker_evaluations: worker_evaluations,
+                search_pruned_evaluations: pruned,
                 planned_time_s: planned_time,
                 cache_hit: false,
                 warm_started,
@@ -618,42 +635,52 @@ impl<'a> DipPlanner<'a> {
             ..self.config.search.clone()
         };
         let quota = delta_config.evaluation_quota(graph.len());
-        let (priorities, orders, evaluations, worker_evaluations, search_cpu_time, planned_time) =
-            if self.config.enable_search && quota > 0 {
-                let OrderingResult {
-                    segment_priorities,
-                    best_time_s,
-                    evaluations,
-                    worker_evaluations,
-                    cpu_time,
-                    orders,
-                    ..
-                } = search_ordering(&graph, num_segments, &delta_config);
-                (
-                    segment_priorities,
-                    orders,
-                    evaluations,
-                    worker_evaluations,
-                    cpu_time,
-                    best_time_s,
-                )
-            } else {
-                // Zero (or sub-evaluation) delta budget: serve the
-                // anchor's ordering verbatim.
-                let queue = DualQueueConfig {
-                    segment_priorities: anchor.segment_priorities.clone(),
-                    ..base_queue
-                };
-                let (orders, makespan) = dual_queue::schedule(&graph, &queue);
-                (
-                    anchor.segment_priorities.clone(),
-                    orders,
-                    1,
-                    Vec::new(),
-                    Duration::ZERO,
-                    makespan,
-                )
+        let (
+            priorities,
+            orders,
+            evaluations,
+            worker_evaluations,
+            pruned,
+            search_cpu_time,
+            planned_time,
+        ) = if self.config.enable_search && quota > 0 {
+            let OrderingResult {
+                segment_priorities,
+                best_time_s,
+                evaluations,
+                worker_evaluations,
+                pruned_evaluations,
+                cpu_time,
+                orders,
+                ..
+            } = search_ordering(&graph, num_segments, &delta_config);
+            (
+                segment_priorities,
+                orders,
+                evaluations,
+                worker_evaluations,
+                pruned_evaluations,
+                cpu_time,
+                best_time_s,
+            )
+        } else {
+            // Zero (or sub-evaluation) delta budget: serve the
+            // anchor's ordering verbatim.
+            let queue = DualQueueConfig {
+                segment_priorities: anchor.segment_priorities.clone(),
+                ..base_queue
             };
+            let (orders, makespan) = dual_queue::schedule(&graph, &queue);
+            (
+                anchor.segment_priorities.clone(),
+                orders,
+                1,
+                Vec::new(),
+                0,
+                Duration::ZERO,
+                makespan,
+            )
+        };
         let search_time = search_start.elapsed();
 
         Ok(DipPlan {
@@ -673,6 +700,7 @@ impl<'a> DipPlanner<'a> {
                 memopt_cpu_time: Duration::ZERO,
                 search_evaluations: evaluations,
                 search_worker_evaluations: worker_evaluations,
+                search_pruned_evaluations: pruned,
                 planned_time_s: planned_time,
                 cache_hit: false,
                 warm_started: true,

@@ -76,17 +76,16 @@ impl Eq for QueueEntry {}
 impl Ord for QueueEntry {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
         // Max-heap on priority, then earlier microbatch/sub-microbatch first,
-        // then earlier ready time.
+        // then earlier ready time. Ready times are compared with
+        // `f64::total_cmp`, so the order is total by construction — a NaN
+        // (impossible for well-formed graphs, but heap invariants should
+        // never rest on that) sorts deterministically instead of silently
+        // comparing equal to everything.
         self.priority
             .cmp(&other.priority)
             .then(other.microbatch.cmp(&self.microbatch))
             .then(other.sub_microbatch.cmp(&self.sub_microbatch))
-            .then(
-                other
-                    .ready_time
-                    .partial_cmp(&self.ready_time)
-                    .unwrap_or(std::cmp::Ordering::Equal),
-            )
+            .then(other.ready_time.total_cmp(&self.ready_time))
             .then(other.id.cmp(&self.id))
     }
 }
@@ -97,64 +96,233 @@ impl PartialOrd for QueueEntry {
     }
 }
 
-/// Runs the dual-queue interleaver over a stage graph, returning the per-rank
-/// execution orders together with the scheduler's own makespan estimate.
-pub fn schedule(graph: &StageGraph, config: &DualQueueConfig) -> (RankOrders, f64) {
-    let n = graph.len();
-    let num_ranks = graph.num_ranks;
-    let priority_of =
-        |segment: usize| -> i64 { config.segment_priorities.get(segment).copied().unwrap_or(0) };
+/// Reusable scratch state for [`schedule_into`] / [`schedule_bounded`]:
+/// every heap and vector one interleave pass needs, hoisted out of the call
+/// so a search worker evaluating thousands of orderings performs **zero
+/// heap allocations after warm-up**. The reset is clear-don't-drop —
+/// vectors are `clear()`ed and refilled, heaps keep their buffers — so
+/// capacities only ever grow to the graph's high-water mark and then stay
+/// put (the capacity-stability test below asserts exactly that).
+///
+/// A workspace is not tied to one graph: it resizes itself to whatever
+/// graph it is handed. Reusing one workspace across the evaluations of a
+/// single search stream (the intended pattern — see
+/// `dip-core`'s ordering search) is what removes the per-evaluation
+/// allocation traffic that used to dominate the kernel.
+#[derive(Debug, Clone, Default)]
+pub struct ScheduleWorkspace {
+    /// Unsatisfied dependency count per item.
+    remaining_deps: Vec<usize>,
+    /// Earliest data-ready time per item (updated as producers finish).
+    ready_time: Vec<f64>,
+    /// Finish time per item of the most recent pass.
+    finish_time: Vec<f64>,
+    /// Whether each item has been scheduled in the most recent pass.
+    scheduled: Vec<bool>,
+    /// Per-rank forward-stage queues.
+    fwd_queues: Vec<BinaryHeap<QueueEntry>>,
+    /// Per-rank backward-stage queues.
+    bwd_queues: Vec<BinaryHeap<QueueEntry>>,
+    /// Per-rank time the rank becomes free.
+    t_last: Vec<f64>,
+    /// Per-rank direction of the last executed stage.
+    last_dir: Vec<Option<Direction>>,
+    /// Per-rank live activation bytes.
+    mem_used: Vec<u64>,
+    /// Per-rank in-flight (forward done, backward pending) stage pairs.
+    inflight: Vec<usize>,
+    /// Per-rank execution orders of the most recent pass.
+    orders: Vec<Vec<StageId>>,
+}
 
-    // Dependency bookkeeping.
-    let mut remaining_deps: Vec<usize> = graph
-        .items()
-        .iter()
-        .map(|i| graph.deps_of(i.id).len())
-        .collect();
-    let mut dependents: Vec<Vec<(usize, f64)>> = vec![Vec::new(); n];
-    for item in graph.items() {
-        for (dep, lag) in graph.deps_of(item.id) {
-            dependents[dep.0].push((item.id.0, *lag));
+impl ScheduleWorkspace {
+    /// An empty workspace. Capacities grow on first use and then stabilise.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The per-rank execution orders produced by the most recent
+    /// [`schedule_into`] / [`schedule_bounded`] pass (empty before the
+    /// first pass; partial after an aborted bounded pass).
+    pub fn orders(&self) -> &[Vec<StageId>] {
+        &self.orders
+    }
+
+    /// Copies the most recent pass's per-rank orders into `out`, reusing
+    /// `out`'s existing allocations (no allocation when `out` has already
+    /// held orders of the same shape).
+    pub fn write_orders_into(&self, out: &mut RankOrders) {
+        out.orders.truncate(self.orders.len());
+        while out.orders.len() < self.orders.len() {
+            out.orders.push(Vec::new());
+        }
+        for (dst, src) in out.orders.iter_mut().zip(&self.orders) {
+            dst.clear();
+            dst.extend_from_slice(src);
         }
     }
-    // Earliest data-ready time for each item (updated as producers finish).
-    let mut ready_time: Vec<f64> = vec![0.0; n];
 
-    // Per-rank state.
-    let mut fwd_queues: Vec<BinaryHeap<QueueEntry>> = vec![BinaryHeap::new(); num_ranks];
-    let mut bwd_queues: Vec<BinaryHeap<QueueEntry>> = vec![BinaryHeap::new(); num_ranks];
-    let mut t_last = vec![0.0f64; num_ranks];
-    let mut last_dir: Vec<Option<Direction>> = vec![None; num_ranks];
-    let mut mem_used = vec![0u64; num_ranks];
-    let mut inflight = vec![0usize; num_ranks];
-    let mut orders: Vec<Vec<StageId>> = vec![Vec::new(); num_ranks];
-    let mut finish_time: Vec<f64> = vec![0.0; n];
-    let mut scheduled = vec![false; n];
-
-    let push_entry = |queues_f: &mut Vec<BinaryHeap<QueueEntry>>,
-                      queues_b: &mut Vec<BinaryHeap<QueueEntry>>,
-                      ready: &[f64],
-                      idx: usize| {
-        let item = graph.item(StageId(idx));
-        let entry = QueueEntry {
-            priority: priority_of(item.segment),
-            microbatch: item.microbatch,
-            sub_microbatch: item.sub_microbatch,
-            ready_time: ready[idx],
-            id: item.id,
-        };
-        match item.direction {
-            Direction::Forward => queues_f[item.rank].push(entry),
-            Direction::Backward => queues_b[item.rank].push(entry),
+    /// Clear-don't-drop reset for a graph of `n` items over `num_ranks`
+    /// ranks: every vector is cleared and refilled in place, every heap
+    /// keeps its buffer.
+    fn reset(&mut self, n: usize, num_ranks: usize) {
+        self.remaining_deps.clear();
+        self.ready_time.clear();
+        self.ready_time.resize(n, 0.0);
+        self.finish_time.clear();
+        self.finish_time.resize(n, 0.0);
+        self.scheduled.clear();
+        self.scheduled.resize(n, false);
+        self.fwd_queues.resize_with(num_ranks, BinaryHeap::new);
+        self.bwd_queues.resize_with(num_ranks, BinaryHeap::new);
+        for q in &mut self.fwd_queues {
+            q.clear();
         }
+        for q in &mut self.bwd_queues {
+            q.clear();
+        }
+        self.t_last.clear();
+        self.t_last.resize(num_ranks, 0.0);
+        self.last_dir.clear();
+        self.last_dir.resize(num_ranks, None);
+        self.mem_used.clear();
+        self.mem_used.resize(num_ranks, 0);
+        self.inflight.clear();
+        self.inflight.resize(num_ranks, 0);
+        self.orders.resize_with(num_ranks, Vec::new);
+        for order in &mut self.orders {
+            order.clear();
+        }
+    }
+
+    /// The capacity of every owned buffer, in a fixed order — the witness
+    /// the zero-allocation test compares across repeated passes.
+    #[cfg(test)]
+    fn capacity_signature(&self) -> Vec<usize> {
+        let mut sig = vec![
+            self.remaining_deps.capacity(),
+            self.ready_time.capacity(),
+            self.finish_time.capacity(),
+            self.scheduled.capacity(),
+            self.fwd_queues.capacity(),
+            self.bwd_queues.capacity(),
+            self.t_last.capacity(),
+            self.last_dir.capacity(),
+            self.mem_used.capacity(),
+            self.inflight.capacity(),
+            self.orders.capacity(),
+        ];
+        sig.extend(self.fwd_queues.iter().map(BinaryHeap::capacity));
+        sig.extend(self.bwd_queues.iter().map(BinaryHeap::capacity));
+        sig.extend(self.orders.iter().map(Vec::capacity));
+        sig
+    }
+}
+
+/// Enqueues item `idx` on its rank's direction queue.
+fn push_entry(
+    graph: &StageGraph,
+    priorities: &[i64],
+    fwd_queues: &mut [BinaryHeap<QueueEntry>],
+    bwd_queues: &mut [BinaryHeap<QueueEntry>],
+    ready: &[f64],
+    idx: usize,
+) {
+    let item = graph.item(StageId(idx));
+    let entry = QueueEntry {
+        priority: priorities.get(item.segment).copied().unwrap_or(0),
+        microbatch: item.microbatch,
+        sub_microbatch: item.sub_microbatch,
+        ready_time: ready[idx],
+        id: item.id,
     };
+    match item.direction {
+        Direction::Forward => fwd_queues[item.rank].push(entry),
+        Direction::Backward => bwd_queues[item.rank].push(entry),
+    }
+}
+
+/// Runs the dual-queue interleaver over a stage graph, returning the per-rank
+/// execution orders together with the scheduler's own makespan estimate.
+///
+/// This is the allocating convenience wrapper around [`schedule_into`]: it
+/// builds a fresh [`ScheduleWorkspace`] per call. Hot paths that evaluate
+/// many orderings (the planner's search workers) hold a workspace and call
+/// [`schedule_into`] / [`schedule_bounded`] directly.
+pub fn schedule(graph: &StageGraph, config: &DualQueueConfig) -> (RankOrders, f64) {
+    let mut ws = ScheduleWorkspace::new();
+    let makespan = schedule_into(graph, config, &mut ws);
+    (
+        RankOrders {
+            orders: std::mem::take(&mut ws.orders),
+        },
+        makespan,
+    )
+}
+
+/// Runs the dual-queue interleaver using `ws` as scratch state, returning
+/// the makespan; the per-rank orders are left in [`ScheduleWorkspace::orders`].
+/// Bit-identical to [`schedule`] (the wrapper delegates here), but performs
+/// zero heap allocations once the workspace has warmed up on the graph's
+/// shape.
+pub fn schedule_into(
+    graph: &StageGraph,
+    config: &DualQueueConfig,
+    ws: &mut ScheduleWorkspace,
+) -> f64 {
+    schedule_core(graph, config, ws, f64::INFINITY).expect("an infinite cutoff never aborts")
+}
+
+/// Like [`schedule_into`], but aborts as soon as any scheduled stage's end
+/// time exceeds `cutoff`, returning `None`. The bound is **exact**, never
+/// heuristic: the makespan is the monotone maximum of all stage end times,
+/// so the first end time past the cutoff proves the final makespan would
+/// exceed it too — `None` means exactly "this ordering's makespan is
+/// `> cutoff`", and `Some(m)` always satisfies `m <= cutoff`. Callers that
+/// only care about better-than-incumbent orderings (the random and DFS
+/// search workers) pass their incumbent as the cutoff and skip the tail of
+/// every losing evaluation.
+pub fn schedule_bounded(
+    graph: &StageGraph,
+    config: &DualQueueConfig,
+    ws: &mut ScheduleWorkspace,
+    cutoff: f64,
+) -> Option<f64> {
+    schedule_core(graph, config, ws, cutoff)
+}
+
+/// The shared kernel behind [`schedule_into`] and [`schedule_bounded`].
+fn schedule_core(
+    graph: &StageGraph,
+    config: &DualQueueConfig,
+    ws: &mut ScheduleWorkspace,
+    cutoff: f64,
+) -> Option<f64> {
+    let n = graph.len();
+    let num_ranks = graph.num_ranks;
+    ws.reset(n, num_ranks);
+    let priorities = config.segment_priorities.as_slice();
+
+    // Dependency bookkeeping: counts from the forward CSR, release edges
+    // from the graph's cached reverse CSR (`StageGraph::dependents_of`) —
+    // nothing is re-derived per evaluation.
+    for (idx, item) in graph.items().iter().enumerate() {
+        debug_assert_eq!(item.id.0, idx);
+        ws.remaining_deps.push(graph.deps_of(item.id).len());
+    }
 
     // Seed with stages that have no dependencies.
-    for (idx, item) in graph.items().iter().enumerate() {
-        if remaining_deps[idx] == 0 {
-            push_entry(&mut fwd_queues, &mut bwd_queues, &ready_time, idx);
+    for idx in 0..n {
+        if ws.remaining_deps[idx] == 0 {
+            push_entry(
+                graph,
+                priorities,
+                &mut ws.fwd_queues,
+                &mut ws.bwd_queues,
+                &ws.ready_time,
+                idx,
+            );
         }
-        debug_assert_eq!(item.id.0, idx);
     }
 
     let mut scheduled_count = 0usize;
@@ -165,17 +333,18 @@ pub fn schedule(graph: &StageGraph, config: &DualQueueConfig) -> (RankOrders, f6
         // then execute the one that can start earliest overall.
         let mut best: Option<(f64, usize, StageId, bool)> = None; // (start, rank, id, relaxed)
         for rank in 0..num_ranks {
-            let fwd_allowed = forward_allowed(rank, &mem_used, &inflight, config, &fwd_queues);
+            let fwd_allowed =
+                forward_allowed(rank, &ws.mem_used, &ws.inflight, config, &ws.fwd_queues);
             let choice = pick_for_rank(
-                &fwd_queues[rank],
-                &bwd_queues[rank],
-                t_last[rank],
-                last_dir[rank],
+                &ws.fwd_queues[rank],
+                &ws.bwd_queues[rank],
+                ws.t_last[rank],
+                ws.last_dir[rank],
                 fwd_allowed,
                 config.one_f_one_b,
             );
             if let Some(entry) = choice {
-                let start = entry.ready_time.max(t_last[rank]);
+                let start = entry.ready_time.max(ws.t_last[rank]);
                 if best.is_none_or(|(s, ..)| start < s) {
                     best = Some((start, rank, entry.id, false));
                 }
@@ -185,8 +354,8 @@ pub fn schedule(graph: &StageGraph, config: &DualQueueConfig) -> (RankOrders, f6
         // constraint, relax it for the rank with the earliest-ready forward.
         if best.is_none() {
             for rank in 0..num_ranks {
-                if let Some(entry) = fwd_queues[rank].peek() {
-                    let start = entry.ready_time.max(t_last[rank]);
+                if let Some(entry) = ws.fwd_queues[rank].peek() {
+                    let start = entry.ready_time.max(ws.t_last[rank]);
                     if best.is_none_or(|(s, ..)| start < s) {
                         best = Some((start, rank, entry.id, true));
                     }
@@ -199,54 +368,65 @@ pub fn schedule(graph: &StageGraph, config: &DualQueueConfig) -> (RankOrders, f6
             break;
         };
 
-        // Dequeue the chosen entry from its queue.
+        // Dequeue the chosen entry. Both the policy pick and the relaxed
+        // fallback select the *peeked top* of one queue, so the chosen
+        // entry is by construction that queue's maximum — pop it directly.
         let item = graph.item(id);
         let queue = match item.direction {
-            Direction::Forward => &mut fwd_queues[rank],
-            Direction::Backward => &mut bwd_queues[rank],
+            Direction::Forward => &mut ws.fwd_queues[rank],
+            Direction::Backward => &mut ws.bwd_queues[rank],
         };
-        let mut stash = Vec::new();
-        while let Some(e) = queue.pop() {
-            if e.id == id {
-                break;
-            }
-            stash.push(e);
-        }
-        for e in stash {
-            queue.push(e);
-        }
+        let popped = queue
+            .pop()
+            .expect("the chosen entry was peeked from this queue");
+        debug_assert_eq!(popped.id, id, "the chosen entry is its queue's top");
 
         // Execute it.
         let end = start + item.duration;
-        finish_time[id.0] = end;
-        scheduled[id.0] = true;
+        if end > cutoff {
+            // The makespan is a monotone max over stage end times: one end
+            // past the cutoff proves the full schedule would be too. The
+            // workspace holds a partial pass; the next reset wipes it.
+            return None;
+        }
+        debug_assert!(!ws.scheduled[id.0], "stage scheduled twice");
+        ws.finish_time[id.0] = end;
+        ws.scheduled[id.0] = true;
         scheduled_count += 1;
-        t_last[rank] = end;
-        last_dir[rank] = Some(item.direction);
+        ws.t_last[rank] = end;
+        ws.last_dir[rank] = Some(item.direction);
         makespan = makespan.max(end);
-        orders[rank].push(id);
+        ws.orders[rank].push(id);
         match item.direction {
             Direction::Forward => {
-                mem_used[rank] = mem_used[rank].saturating_add(item.activation_bytes);
-                inflight[rank] += 1;
+                ws.mem_used[rank] = ws.mem_used[rank].saturating_add(item.activation_bytes);
+                ws.inflight[rank] += 1;
             }
             Direction::Backward => {
-                mem_used[rank] = mem_used[rank].saturating_sub(item.activation_bytes);
-                inflight[rank] = inflight[rank].saturating_sub(1);
+                ws.mem_used[rank] = ws.mem_used[rank].saturating_sub(item.activation_bytes);
+                ws.inflight[rank] = ws.inflight[rank].saturating_sub(1);
             }
         }
 
-        // Release dependents.
-        for &(dependent, lag) in &dependents[id.0] {
-            ready_time[dependent] = ready_time[dependent].max(end + lag);
-            remaining_deps[dependent] -= 1;
-            if remaining_deps[dependent] == 0 {
-                push_entry(&mut fwd_queues, &mut bwd_queues, &ready_time, dependent);
+        // Release dependents via the cached reverse CSR.
+        for &(dependent, lag) in graph.dependents_of(id) {
+            let d = dependent.0;
+            ws.ready_time[d] = ws.ready_time[d].max(end + lag);
+            ws.remaining_deps[d] -= 1;
+            if ws.remaining_deps[d] == 0 {
+                push_entry(
+                    graph,
+                    priorities,
+                    &mut ws.fwd_queues,
+                    &mut ws.bwd_queues,
+                    &ws.ready_time,
+                    d,
+                );
             }
         }
     }
 
-    (RankOrders { orders }, makespan)
+    Some(makespan)
 }
 
 fn forward_allowed(
@@ -438,6 +618,124 @@ mod tests {
         // segment 1, but boosting segment 1 should not *delay* it.
         assert!(
             first_pos_of_segment(&boosted_orders, 1) <= first_pos_of_segment(&default_orders, 1)
+        );
+    }
+
+    #[test]
+    fn reused_workspace_matches_fresh_schedule_bit_for_bit() {
+        let graph = lm_graph(6, 4);
+        let mut ws = ScheduleWorkspace::new();
+        // Dirty the workspace on a different graph shape first.
+        let other = lm_graph(3, 2);
+        schedule_into(&other, &DualQueueConfig::default(), &mut ws);
+        for priorities in [vec![], vec![5], vec![0, 100], vec![-3, 7, 1]] {
+            let config = DualQueueConfig {
+                segment_priorities: priorities,
+                ..DualQueueConfig::default()
+            };
+            let (orders, makespan) = schedule(&graph, &config);
+            let ws_makespan = schedule_into(&graph, &config, &mut ws);
+            assert_eq!(makespan.to_bits(), ws_makespan.to_bits());
+            assert_eq!(orders.orders.as_slice(), ws.orders());
+        }
+    }
+
+    #[test]
+    fn workspace_capacities_are_stable_after_warmup() {
+        let graph = lm_graph(8, 4);
+        let mut ws = ScheduleWorkspace::new();
+        // Warm-up pass: buffers grow to the graph's high-water mark.
+        schedule_into(&graph, &DualQueueConfig::default(), &mut ws);
+        let signature = ws.capacity_signature();
+        // Steady state: repeated passes (including under varying priorities
+        // and an aborted bounded pass) must not allocate — every capacity
+        // stays exactly at the warm-up signature.
+        for round in 0..10 {
+            let config = DualQueueConfig {
+                segment_priorities: vec![round as i64, -(round as i64)],
+                ..DualQueueConfig::default()
+            };
+            schedule_into(&graph, &config, &mut ws);
+            assert_eq!(
+                signature,
+                ws.capacity_signature(),
+                "round {round} allocated"
+            );
+            assert!(schedule_bounded(&graph, &config, &mut ws, 1e-9).is_none());
+            assert_eq!(
+                signature,
+                ws.capacity_signature(),
+                "bounded round {round} allocated"
+            );
+        }
+    }
+
+    #[test]
+    fn direct_pop_matches_on_the_relaxed_deadlock_path() {
+        // A tiny per-rank memory limit forces every forward past the first to
+        // go through the relaxed (deadlock-avoidance) branch. The direct-pop
+        // dequeue must behave identically to the old stash loop there:
+        // reused-workspace and fresh-wrapper runs agree bit for bit, and the
+        // debug assertion (popped id == chosen id) holds throughout.
+        let graph = lm_graph(6, 2);
+        let config = DualQueueConfig {
+            memory_limit: Some(vec![1, 1]),
+            max_inflight: Some(1),
+            ..DualQueueConfig::default()
+        };
+        let (orders, makespan) = schedule(&graph, &config);
+        assert_eq!(orders.num_stages(), graph.len());
+        let mut ws = ScheduleWorkspace::new();
+        let ws_makespan = schedule_into(&graph, &config, &mut ws);
+        assert_eq!(makespan.to_bits(), ws_makespan.to_bits());
+        assert_eq!(orders.orders.as_slice(), ws.orders());
+    }
+
+    #[test]
+    fn bounded_with_infinite_cutoff_matches_schedule_into() {
+        let graph = lm_graph(5, 4);
+        let config = DualQueueConfig::default();
+        let mut ws = ScheduleWorkspace::new();
+        let makespan = schedule_into(&graph, &config, &mut ws);
+        let orders: Vec<Vec<StageId>> = ws.orders().to_vec();
+        let bounded = schedule_bounded(&graph, &config, &mut ws, f64::INFINITY)
+            .expect("infinite cutoff never aborts");
+        assert_eq!(makespan.to_bits(), bounded.to_bits());
+        assert_eq!(orders.as_slice(), ws.orders());
+    }
+
+    #[test]
+    fn bound_is_exact_at_the_makespan_boundary() {
+        let graph = lm_graph(5, 4);
+        let config = DualQueueConfig::default();
+        let mut ws = ScheduleWorkspace::new();
+        let makespan = schedule_into(&graph, &config, &mut ws);
+        // Cutoff exactly at the makespan: the pass completes (end > cutoff
+        // is strict) and returns the same bits.
+        let at = schedule_bounded(&graph, &config, &mut ws, makespan)
+            .expect("cutoff == makespan must complete");
+        assert_eq!(at.to_bits(), makespan.to_bits());
+        // Cutoff just below: the pass must abort.
+        let below = makespan * (1.0 - 1e-12);
+        assert!(below < makespan);
+        assert!(schedule_bounded(&graph, &config, &mut ws, below).is_none());
+    }
+
+    #[test]
+    fn write_orders_into_reuses_allocations() {
+        let graph = lm_graph(4, 4);
+        let mut ws = ScheduleWorkspace::new();
+        schedule_into(&graph, &DualQueueConfig::default(), &mut ws);
+        let mut out = RankOrders { orders: Vec::new() };
+        ws.write_orders_into(&mut out);
+        assert_eq!(out.orders.as_slice(), ws.orders());
+        // A second write into the now-shaped target must not reallocate.
+        let caps: Vec<usize> = out.orders.iter().map(Vec::capacity).collect();
+        ws.write_orders_into(&mut out);
+        assert_eq!(out.orders.as_slice(), ws.orders());
+        assert_eq!(
+            caps,
+            out.orders.iter().map(Vec::capacity).collect::<Vec<_>>()
         );
     }
 }

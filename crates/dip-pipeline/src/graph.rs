@@ -135,10 +135,12 @@ impl SubMicrobatchPlan {
 }
 
 /// Flat arena storage backing a [`StageGraph`]: the item slab, the CSR
-/// dependency slab (`deps` + `dep_offsets`), and the cached pre-strategy
-/// [`StageTiming`] of every (forward, backward) stage pair — the state
-/// [`StageGraph::reprice`] rewrites durations from. Compact, cache-friendly
-/// and trivially serializable (three flat vectors, no pointers or trees).
+/// dependency slab (`deps` + `dep_offsets`), its cached reverse transpose
+/// (`rdeps` + `rdep_offsets`, behind [`StageGraph::dependents_of`]), and
+/// the cached pre-strategy [`StageTiming`] of every (forward, backward)
+/// stage pair — the state [`StageGraph::reprice`] rewrites durations from.
+/// Compact, cache-friendly and trivially serializable (flat vectors only,
+/// no pointers or trees).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 struct StageArena {
     /// Every stage execution, in id order (two per stage pair:
@@ -149,6 +151,17 @@ struct StageArena {
     deps: Vec<(StageId, f64)>,
     /// CSR offset table, length `items.len() + 1`.
     dep_offsets: Vec<usize>,
+    /// Flat **reverse**-dependency slab, the transpose of `deps`: item
+    /// `i`'s dependents are `rdeps[rdep_offsets[i] .. rdep_offsets[i + 1]]`
+    /// as `(consumer, communication lag)` pairs, each dependent list in
+    /// ascending consumer-id order. Built once at construction so
+    /// schedulers ([`crate::dual_queue::schedule_into`]) never re-derive
+    /// the adjacency per evaluation; [`StageGraph::reprice`] keeps it
+    /// valid for free, because durations live on items and lags on edges —
+    /// neither side of the transpose ever changes.
+    rdeps: Vec<(StageId, f64)>,
+    /// Reverse CSR offset table, length `items.len() + 1`.
+    rdep_offsets: Vec<usize>,
     /// The **pre-strategy** timing of each stage pair (what the hosting
     /// rank's device charges with everything kept resident), in stage-pair
     /// order. [`StageGraph::reprice`] re-applies a [`MemoryPlan`] to these.
@@ -242,6 +255,21 @@ impl StageGraph {
     /// Panics if the id is out of range.
     pub fn deps_of(&self, id: StageId) -> &[(StageId, f64)] {
         &self.arena.deps[self.arena.dep_offsets[id.0]..self.arena.dep_offsets[id.0 + 1]]
+    }
+
+    /// The data dependents of the item with the given id: `(consumer,
+    /// communication lag in seconds)` pairs in ascending consumer-id
+    /// order, read straight from the cached reverse CSR slab — the exact
+    /// transpose of [`StageGraph::deps_of`]. This is the adjacency the
+    /// dual-queue scheduler walks to release ready stages; caching it here
+    /// (instead of rebuilding a `Vec<Vec<_>>` per call) is what lets
+    /// [`crate::dual_queue::schedule_into`] run allocation-free.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn dependents_of(&self, id: StageId) -> &[(StageId, f64)] {
+        &self.arena.rdeps[self.arena.rdep_offsets[id.0]..self.arena.rdep_offsets[id.0 + 1]]
     }
 
     /// Iterator over items on a given rank.
@@ -735,6 +763,30 @@ impl<'a> StageGraphBuilder<'a> {
             cpu_time += cpu;
         }
 
+        // Transpose the forward CSR into the cached reverse CSR (producer →
+        // dependents) with a counting sort over producer ids: one pass
+        // counts each producer's out-degree, one pass scatters. Consumers
+        // are visited in ascending id order, so every dependent list comes
+        // out id-sorted — deterministic, and byte-identical at any worker
+        // count because it only reads the already-merged forward slab.
+        let transpose_start = Instant::now();
+        let mut rdep_offsets = vec![0usize; items.len() + 1];
+        for &(producer, _) in &deps {
+            rdep_offsets[producer.0 + 1] += 1;
+        }
+        for i in 1..rdep_offsets.len() {
+            rdep_offsets[i] += rdep_offsets[i - 1];
+        }
+        let mut rdeps = vec![(StageId(0), 0.0f64); deps.len()];
+        let mut cursor = rdep_offsets.clone();
+        for consumer in 0..items.len() {
+            for &(producer, lag) in &deps[dep_offsets[consumer]..dep_offsets[consumer + 1]] {
+                rdeps[cursor[producer.0]] = (StageId(consumer), lag);
+                cursor[producer.0] += 1;
+            }
+        }
+        cpu_time += transpose_start.elapsed();
+
         let static_memory = self.placement.static_memory_per_rank(self.spec);
         let param_bytes_per_rank: Vec<u64> = {
             let tp = tp.max(1) as u64;
@@ -758,6 +810,8 @@ impl<'a> StageGraphBuilder<'a> {
                     items,
                     deps,
                     dep_offsets,
+                    rdeps,
+                    rdep_offsets,
                     base_timings,
                 },
                 num_segments: segments.len(),
@@ -1038,5 +1092,60 @@ mod tests {
                 assert!(lag.is_finite() && *lag >= 0.0);
             }
         }
+    }
+
+    #[test]
+    fn reverse_csr_is_the_exact_transpose_of_the_forward_csr() {
+        let spec = zoo::vlm_s();
+        let parallel = ParallelConfig::new(4, 4, 1);
+        let mut k = BTreeMap::new();
+        k.insert(spec.backbone_id().unwrap(), 2usize);
+        let placement = separated_placement(&spec, parallel, &k);
+        let cluster = cluster();
+        let batches = vec![vlm_batch(); 3];
+        let mut plan = SubMicrobatchPlan::uniform(placement.segments.len(), batches.len());
+        plan.set(0, 0, 2);
+        plan.set(0, 1, 2);
+        plan.set(0, 2, 2);
+        let mut graph = StageGraphBuilder::new(&spec, &placement, &cluster)
+            .build(&batches, &plan)
+            .unwrap();
+        // Rebuild the reference transpose the way the scheduler used to.
+        let mut reference: Vec<Vec<(StageId, f64)>> = vec![Vec::new(); graph.len()];
+        for item in graph.items() {
+            for &(dep, lag) in graph.deps_of(item.id) {
+                reference[dep.0].push((item.id, lag));
+            }
+        }
+        let total_rdeps: usize = (0..graph.len())
+            .map(|i| graph.dependents_of(StageId(i)).len())
+            .sum();
+        let total_deps: usize = (0..graph.len())
+            .map(|i| graph.deps_of(StageId(i)).len())
+            .sum();
+        assert_eq!(total_rdeps, total_deps);
+        for (i, expected) in reference.iter().enumerate() {
+            let got = graph.dependents_of(StageId(i));
+            assert_eq!(got, expected.as_slice(), "dependents of item {i}");
+            // Dependent lists are id-sorted by construction (non-strictly:
+            // a loss-boundary backward depends on its forward twice, once
+            // for the data edge and once for the loss lag).
+            assert!(got.windows(2).all(|w| w[0].0 <= w[1].0));
+        }
+        // Repricing never touches the adjacency: the transpose (ids and
+        // lags) survives a memory-plan application bit for bit.
+        let before: Vec<(StageId, f64)> = (0..graph.len())
+            .flat_map(|i| graph.dependents_of(StageId(i)).to_vec())
+            .collect();
+        let ladder = MemoryStrategy::ladder(6);
+        let mut memory_plan = MemoryPlan::new();
+        for pair in 0..graph.num_stage_pairs {
+            memory_plan.set(pair, ladder[pair % ladder.len()]);
+        }
+        graph.reprice(&memory_plan);
+        let after: Vec<(StageId, f64)> = (0..graph.len())
+            .flat_map(|i| graph.dependents_of(StageId(i)).to_vec())
+            .collect();
+        assert_eq!(before, after);
     }
 }

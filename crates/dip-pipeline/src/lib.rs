@@ -67,7 +67,9 @@ pub mod partition;
 pub mod placement;
 pub mod strategy;
 
-pub use dual_queue::{DualQueueConfig, RankOrders};
+pub use dual_queue::{
+    schedule_bounded, schedule_into, DualQueueConfig, RankOrders, ScheduleWorkspace,
+};
 pub use executor::{execute, ExecutionOutcome, ExecutorConfig};
 pub use graph::{
     Direction, GraphBuildStats, PreparedWorkloads, StageGraph, StageGraphBuilder, StageId,

@@ -1,0 +1,199 @@
+//! Evaluation-kernel equivalence properties: the reusable-workspace
+//! interleaver (`schedule_into`), its cutoff-bounded variant
+//! (`schedule_bounded`) and the incumbent-pruned search paths must all be
+//! *behaviour-preserving* rewrites of the allocating originals — same
+//! orders, same makespan bits, same best plan — across random workloads,
+//! topologies and priority assignments. The workspace is deliberately
+//! dirtied on a differently-shaped graph before each comparison, because
+//! "reused scratch state leaks into the next evaluation" is exactly the
+//! bug class these properties exist to catch.
+
+use dip_core::ordering::{search_ordering, OrderingSearchConfig, SearchStrategy};
+use dip_models::{zoo, BatchWorkload, Modality, ModalityWorkload};
+use dip_pipeline::{
+    balanced_param_placement, dual_queue, DualQueueConfig, ParallelConfig, ScheduleWorkspace,
+    StageGraph, StageGraphBuilder, SubMicrobatchPlan,
+};
+use dip_sim::ClusterSpec;
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+/// A text-only stage graph over `pp` pipeline ranks with `vpp` segments
+/// per rank and `microbatches` microbatches of `tokens` tokens each.
+fn lm_graph(microbatches: usize, pp: usize, vpp: usize, tokens: u64) -> (StageGraph, usize) {
+    let spec = zoo::lm_7b();
+    let parallel = ParallelConfig::new(2, pp, 1);
+    let placement = balanced_param_placement(&spec, parallel, vpp);
+    let cluster = ClusterSpec::h800_cluster(1);
+    let builder = StageGraphBuilder::new(&spec, &placement, &cluster);
+    let batch = BatchWorkload::new().with(Modality::Text, ModalityWorkload::from_tokens(tokens));
+    let batches = vec![batch; microbatches];
+    let plan = SubMicrobatchPlan::uniform(placement.segments.len(), batches.len());
+    let n = placement.segments.len();
+    (builder.build(&batches, &plan).unwrap(), n)
+}
+
+/// A multimodal (text + image) graph with a split backbone — the richer
+/// dependency structure (modality bridges, loss-boundary edges) the
+/// search actually operates on.
+fn vlm_graph(microbatches: usize, images: u64) -> (StageGraph, usize) {
+    let spec = zoo::vlm_s();
+    let parallel = ParallelConfig::new(4, 4, 1);
+    let mut k = BTreeMap::new();
+    k.insert(spec.backbone_id().unwrap(), 2usize);
+    let placement = dip_pipeline::separated_placement(&spec, parallel, &k);
+    let cluster = ClusterSpec::h800_cluster(2);
+    let builder = StageGraphBuilder::new(&spec, &placement, &cluster);
+    let images = images.clamp(1, 32);
+    let batch = BatchWorkload::new()
+        .with(
+            Modality::Text,
+            ModalityWorkload::new(8192 - images * 169, 1),
+        )
+        .with(Modality::Image, ModalityWorkload::new(images * 169, images));
+    let batches = vec![batch; microbatches];
+    let plan = SubMicrobatchPlan::uniform(placement.segments.len(), batches.len());
+    let n = placement.segments.len();
+    (builder.build(&batches, &plan).unwrap(), n)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// `schedule_into` through a *reused, dirty* workspace is bit-identical
+    /// (per-rank orders and makespan bits) to a fresh `schedule` call, over
+    /// random workload shapes, segment counts and priority assignments.
+    #[test]
+    fn reused_workspace_kernel_is_bit_identical_to_fresh_schedule(
+        microbatches in 2usize..7,
+        pp in 2usize..5,
+        vpp in 1usize..3,
+        tokens in 1024u64..16384,
+        p0 in 0u64..11,
+        p1 in 0u64..11,
+    ) {
+        let (graph, n) = lm_graph(microbatches, pp, vpp, tokens);
+        let mut ws = ScheduleWorkspace::new();
+        // Dirty the workspace on a graph of a different shape first.
+        let (other, _) = lm_graph(microbatches + 1, 2, 1, 2048);
+        dual_queue::schedule_into(&other, &DualQueueConfig::default(), &mut ws);
+        let mut priorities = vec![0i64; n];
+        if n > 0 {
+            priorities[0] = p0 as i64 - 5;
+            priorities[n - 1] = p1 as i64 - 5;
+        }
+        let config = DualQueueConfig {
+            segment_priorities: priorities,
+            ..DualQueueConfig::default()
+        };
+        let (orders, makespan) = dual_queue::schedule(&graph, &config);
+        let ws_makespan = dual_queue::schedule_into(&graph, &config, &mut ws);
+        prop_assert_eq!(makespan.to_bits(), ws_makespan.to_bits());
+        prop_assert_eq!(orders.orders.as_slice(), ws.orders());
+    }
+
+    /// `schedule_bounded` with an infinite cutoff is exactly
+    /// `schedule_into`, and a cutoff at the true makespan still completes
+    /// with the same bits (the abort condition is strictly-greater).
+    #[test]
+    fn bounded_with_infinite_cutoff_equals_schedule_into(
+        microbatches in 2usize..6,
+        images in 1u64..20,
+        p0 in 0u64..11,
+    ) {
+        let (graph, n) = vlm_graph(microbatches, images);
+        let mut priorities = vec![0i64; n];
+        priorities[0] = p0 as i64 - 5;
+        let config = DualQueueConfig {
+            segment_priorities: priorities,
+            ..DualQueueConfig::default()
+        };
+        let mut ws = ScheduleWorkspace::new();
+        let makespan = dual_queue::schedule_into(&graph, &config, &mut ws);
+        let orders = ws.orders().to_vec();
+        let unbounded = dual_queue::schedule_bounded(&graph, &config, &mut ws, f64::INFINITY);
+        prop_assert_eq!(unbounded.map(f64::to_bits), Some(makespan.to_bits()));
+        prop_assert_eq!(orders.as_slice(), ws.orders());
+        let at_makespan = dual_queue::schedule_bounded(&graph, &config, &mut ws, makespan);
+        prop_assert_eq!(at_makespan.map(f64::to_bits), Some(makespan.to_bits()));
+        // Just below the makespan the pass must abort.
+        prop_assert!(
+            dual_queue::schedule_bounded(&graph, &config, &mut ws, makespan * (1.0 - 1e-12))
+                .is_none()
+        );
+    }
+}
+
+/// A fixed-quota search configuration so pruned and unpruned runs explore
+/// the exact same ordering sequence.
+fn search_config(strategy: SearchStrategy, workers: usize, prune: bool) -> OrderingSearchConfig {
+    OrderingSearchConfig {
+        strategy,
+        time_budget: Duration::from_secs(3600),
+        max_evaluations: Some(24),
+        streams: 4,
+        workers,
+        prune_bounded_evaluations: prune,
+        seed: 13,
+        ..OrderingSearchConfig::default()
+    }
+}
+
+/// Incumbent-bounded pruning is exact: the pruned random and DFS searches
+/// return the same best plan (priorities, orders, makespan bits) as the
+/// unpruned ones, at every worker count — pruning is a wall-clock
+/// optimisation, never a behaviour change.
+#[test]
+fn pruned_search_returns_the_same_best_plan_as_unpruned() {
+    let (graph, n) = vlm_graph(3, 10);
+    let mut total_pruned = 0u64;
+    for strategy in [SearchStrategy::Random, SearchStrategy::Dfs] {
+        let reference = search_ordering(&graph, n, &search_config(strategy, 1, false));
+        assert_eq!(
+            reference.pruned_evaluations, 0,
+            "{strategy:?}: unpruned search prunes nothing"
+        );
+        for workers in [1usize, 2, 4, 8] {
+            let pruned = search_ordering(&graph, n, &search_config(strategy, workers, true));
+            assert_eq!(
+                pruned.segment_priorities, reference.segment_priorities,
+                "{strategy:?}/{workers} workers"
+            );
+            assert_eq!(
+                pruned.orders, reference.orders,
+                "{strategy:?}/{workers} workers"
+            );
+            assert_eq!(
+                pruned.best_time_s.to_bits(),
+                reference.best_time_s.to_bits(),
+                "{strategy:?}/{workers} workers"
+            );
+            // Pruned evaluations still count against the quota, so the
+            // exploration accounting is identical too.
+            assert_eq!(pruned.evaluations, reference.evaluations);
+            assert_eq!(pruned.worker_evaluations, reference.worker_evaluations);
+            total_pruned += pruned.pruned_evaluations;
+        }
+    }
+    // The property is only meaningful if the bound actually fired: with
+    // 4 streams × 24 evaluations most candidates lose to the incumbent.
+    assert!(total_pruned > 0, "the cutoff bound never pruned anything");
+}
+
+/// MCTS never prunes (its backpropagation needs true rollout values), so
+/// the knob must be a no-op there and the pruned counter must stay zero.
+#[test]
+fn mcts_is_unaffected_by_the_pruning_knob() {
+    let (graph, n) = vlm_graph(3, 10);
+    let with_knob = search_ordering(&graph, n, &search_config(SearchStrategy::Mcts, 2, true));
+    let without = search_ordering(&graph, n, &search_config(SearchStrategy::Mcts, 2, false));
+    assert_eq!(with_knob.pruned_evaluations, 0);
+    assert_eq!(without.pruned_evaluations, 0);
+    assert_eq!(with_knob.segment_priorities, without.segment_priorities);
+    assert_eq!(with_knob.orders, without.orders);
+    assert_eq!(
+        with_knob.best_time_s.to_bits(),
+        without.best_time_s.to_bits()
+    );
+}
