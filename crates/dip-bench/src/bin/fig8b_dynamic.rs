@@ -271,7 +271,9 @@ fn zipf_dynamic_traffic(
         let outcome = session.plan(request).expect("zipf stream plans");
         let latency_ms = start.elapsed().as_secs_f64() * 1e3;
         let tier_idx = match outcome.tier {
-            PlanTier::Cold => 0,
+            // The session's three-tier lookup never yields Elastic
+            // (that tier is exclusive to `DipPlanner::replan_elastic`).
+            PlanTier::Cold | PlanTier::Elastic => 0,
             PlanTier::Fuzzy => 1,
             PlanTier::Exact => 2,
         };

@@ -28,6 +28,11 @@
 //!   stampeded fresh shape runs the planner exactly once), warm-started
 //!   search across iterations, and a [`PlanningSession::plan_many`] worker
 //!   pool for planning independent requests concurrently;
+//! * [`elastic`] — the elastic scenario layer: topology changes (failures,
+//!   grow/shrink events) are replanned incrementally from the old plan via
+//!   [`DipPlanner::replan_elastic`], trading simulated iteration time
+//!   against a migration-cost objective (bytes of optimizer/parameter
+//!   state moved, priced at per-edge link bandwidth);
 //! * [`error`] — the unified [`DipError`] returned by every public planner
 //!   entry point;
 //! * [`monolithic`] — the monolithic-ILP baseline of §5.4 / Fig. 12, solved
@@ -65,6 +70,7 @@
 #![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod elastic;
 pub mod error;
 pub mod memopt;
 pub mod monolithic;
@@ -74,6 +80,7 @@ pub mod partitioner;
 pub mod planner;
 pub mod session;
 
+pub use elastic::{CandidateReport, ElasticCandidate, ElasticConfig, ElasticOutcome};
 pub use error::DipError;
 pub use memopt::{optimize_memory, optimize_memory_detailed, MemoryOptConfig, MemoryOptOutcome};
 pub use monolithic::{monolithic_ilp_search, MonolithicResult};

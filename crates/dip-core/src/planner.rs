@@ -9,10 +9,10 @@ use crate::ordering::{
     ordering_from_priorities, search_ordering, OrderingResult, OrderingSearchConfig, SearchStrategy,
 };
 use crate::partitioner::{ModalityAwarePartitioner, PartitionerConfig, PartitionerOutput};
-use dip_models::{BatchWorkload, LmmSpec};
+use dip_models::{BatchWorkload, LmmSpec, Modality};
 use dip_pipeline::{
     dual_queue, execute, DualQueueConfig, ExecutionOutcome, ExecutorConfig, MemoryPlan,
-    ParallelConfig, RankOrders, StageGraph, StageGraphBuilder, SubMicrobatchPlan,
+    ParallelConfig, Placement, RankOrders, StageGraph, StageGraphBuilder, SubMicrobatchPlan,
 };
 use dip_sim::{ClusterSpec, ClusterTopology, EfficiencyModel, TimingModel};
 use parking_lot::Mutex;
@@ -113,8 +113,9 @@ impl PlannerConfig {
 
 /// Which tier of the planning-session's three-tier lookup produced a plan:
 /// exact cache hit, fuzzy hit (delta replan from an in-bucket neighbour) or
-/// cold (planned from scratch). Single-shot [`DipPlanner`] plans are always
-/// [`PlanTier::Cold`].
+/// cold (planned from scratch). Single-shot [`DipPlanner`] plans are
+/// [`PlanTier::Cold`]; [`DipPlanner::replan_elastic`] plans are
+/// [`PlanTier::Elastic`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
 pub enum PlanTier {
     /// Planned from scratch: full ordering search plus memory ILP.
@@ -126,6 +127,12 @@ pub enum PlanTier {
     /// neighbour's partition and memory plan are reused; only a tiny
     /// seeded ordering search runs).
     Fuzzy,
+    /// Elastically replanned across a cluster-topology change
+    /// ([`DipPlanner::replan_elastic`]): the old plan's sub-microbatch
+    /// table and memory plan are reused, candidate placements are priced
+    /// against a migration-cost objective, and only a small seeded
+    /// ordering search runs per candidate.
+    Elastic,
 }
 
 /// Statistics of one planning invocation.
@@ -207,8 +214,29 @@ pub struct DipPlan {
     pub memory_plan: MemoryPlan,
     /// The sub-microbatch plan used for this iteration.
     pub sub_microbatches: SubMicrobatchPlan,
+    /// The model-chunk placement the plan executes — provenance for elastic
+    /// replanning, where the old placement seeds the candidate set and
+    /// migration pricing compares old and new layer hosts.
+    pub placement: Placement,
+    /// The sorted union of modalities across the planned request's
+    /// microbatches. Delta replans guard on it: a plan for a different
+    /// modality set is structurally incompatible as an anchor.
+    pub modalities: Vec<Modality>,
+    /// Fingerprint of the cluster topology the plan was priced on
+    /// ([`ClusterTopology::fingerprint`]). Delta replans guard on it, and
+    /// elastic replans use it to detect the no-change fast path.
+    pub topology_fingerprint: u64,
     /// Planner statistics.
     pub stats: PlannerStats,
+}
+
+/// The sorted union of modalities across a request's microbatches.
+pub(crate) fn request_modalities(microbatches: &[BatchWorkload]) -> Vec<Modality> {
+    let mut set = std::collections::BTreeSet::new();
+    for microbatch in microbatches {
+        set.extend(microbatch.modalities());
+    }
+    set.into_iter().collect()
 }
 
 /// The DIP training planner.
@@ -242,10 +270,10 @@ pub struct DipPlan {
 /// ```
 #[derive(Debug)]
 pub struct DipPlanner<'a> {
-    spec: &'a LmmSpec,
-    parallel: ParallelConfig,
-    topology: ClusterTopology,
-    config: PlannerConfig,
+    pub(crate) spec: &'a LmmSpec,
+    pub(crate) parallel: ParallelConfig,
+    pub(crate) topology: ClusterTopology,
+    pub(crate) config: PlannerConfig,
     timing: TimingModel,
     partition: Mutex<Option<PartitionerOutput>>,
 }
@@ -304,7 +332,7 @@ impl<'a> DipPlanner<'a> {
 
     /// Activation-memory budget per pipeline rank: the usable memory of the
     /// device hosting each rank minus that rank's static footprint.
-    fn activation_budget(&self, static_memory: &[u64]) -> Vec<u64> {
+    pub(crate) fn activation_budget(&self, static_memory: &[u64]) -> Vec<u64> {
         self.topology
             .activation_budget(static_memory, self.parallel.tp)
     }
@@ -530,6 +558,9 @@ impl<'a> DipPlanner<'a> {
             segment_priorities: priorities,
             memory_plan,
             sub_microbatches: sub_plan,
+            placement: partition.placement,
+            modalities: request_modalities(microbatches),
+            topology_fingerprint: self.topology.fingerprint(),
             stats: PlannerStats {
                 planning_time: start.elapsed(),
                 partition_time,
@@ -569,9 +600,10 @@ impl<'a> DipPlanner<'a> {
     /// # Errors
     ///
     /// Returns [`DipError::InvalidRequest`] when the anchor is
-    /// structurally incompatible with the request (different segment or
-    /// microbatch count — callers fall back to a cold plan), and otherwise
-    /// propagates stage-graph construction failures.
+    /// structurally incompatible with the request, with the message naming
+    /// the mismatched field — topology fingerprint, modality set,
+    /// microbatch count or segment count (callers fall back to a cold
+    /// plan) — and otherwise propagates stage-graph construction failures.
     pub fn plan_iteration_delta(
         &self,
         microbatches: &[BatchWorkload],
@@ -582,21 +614,43 @@ impl<'a> DipPlanner<'a> {
                 "cannot plan an iteration with zero microbatches",
             ));
         }
+        let fingerprint = self.topology.fingerprint();
+        if anchor.topology_fingerprint != fingerprint {
+            return Err(DipError::invalid_request(format!(
+                "anchor topology fingerprint {:#018x} does not match the \
+                 planner topology fingerprint {:#018x}",
+                anchor.topology_fingerprint, fingerprint
+            )));
+        }
+        let modalities = request_modalities(microbatches);
+        if anchor.modalities != modalities {
+            return Err(DipError::invalid_request(format!(
+                "anchor modality set {:?} does not match the request \
+                 modality set {:?}",
+                anchor.modalities, modalities
+            )));
+        }
         let start = Instant::now();
+        let sub_plan = anchor.sub_microbatches.clone();
+        if sub_plan.num_microbatches() != microbatches.len() {
+            return Err(DipError::invalid_request(format!(
+                "anchor microbatch count {} does not match the request \
+                 microbatch count {}",
+                sub_plan.num_microbatches(),
+                microbatches.len()
+            )));
+        }
         let partition = self.ensure_partition(microbatches)?;
         let num_segments = partition.placement.segments.len();
-        let sub_plan = anchor.sub_microbatches.clone();
         if sub_plan.num_segments() != num_segments
-            || sub_plan.num_microbatches() != microbatches.len()
             || anchor.segment_priorities.len() != num_segments
         {
             return Err(DipError::invalid_request(format!(
-                "anchor plan covers {}x{} (segments x microbatches), \
-                 request needs {}x{}",
+                "anchor segment count {} ({} priorities) does not match the \
+                 partition segment count {}",
                 sub_plan.num_segments(),
-                sub_plan.num_microbatches(),
-                num_segments,
-                microbatches.len()
+                anchor.segment_priorities.len(),
+                num_segments
             )));
         }
         let partition_time = start.elapsed();
@@ -689,6 +743,9 @@ impl<'a> DipPlanner<'a> {
             segment_priorities: priorities,
             memory_plan,
             sub_microbatches: sub_plan,
+            placement: partition.placement,
+            modalities,
+            topology_fingerprint: fingerprint,
             stats: PlannerStats {
                 planning_time: start.elapsed(),
                 partition_time,

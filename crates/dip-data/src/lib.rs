@@ -29,6 +29,7 @@
 
 mod datasets;
 mod dynamic;
+mod failure;
 mod generator;
 mod packing;
 mod sample;
@@ -38,6 +39,7 @@ pub use datasets::{DatasetKind, DatasetMix, DatasetModel, DatasetStats};
 pub use dynamic::{
     ControlledIteration, DynamicWorkloadController, ImageBoundSchedule, WorkloadTrace,
 };
+pub use failure::{FailureSchedule, FaultEvent, ScheduledFault};
 pub use generator::{BatchGenerator, TrainingBatch};
 pub use packing::{pack_t2v, pack_vlm, Microbatch, T2vPackingConfig, VlmPackingConfig};
 pub use sample::{DataSample, ImageInstance, VideoClip};

@@ -134,4 +134,53 @@ mod tests {
         let total: f64 = (0..31).map(|r| zipf.mass(r)).sum();
         assert!((total - 1.0).abs() < 1e-9);
     }
+
+    #[test]
+    fn a_single_rank_population_always_draws_rank_zero() {
+        let zipf = ZipfSampler::new(1, 1.3);
+        assert_eq!(zipf.population(), 1);
+        assert_eq!(zipf.mass(0), 1.0);
+        let mut rng = StdRng::seed_from_u64(0);
+        for _ in 0..100 {
+            assert_eq!(zipf.sample(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    fn zero_skew_samples_cover_the_population_roughly_uniformly() {
+        // Exponent 0 must behave as a uniform draw, not just report uniform
+        // masses: every rank shows up near its 1/n share.
+        let n = 8;
+        let zipf = ZipfSampler::new(n, 0.0);
+        let mut rng = StdRng::seed_from_u64(21);
+        let mut counts = vec![0usize; n];
+        for _ in 0..16_000 {
+            counts[zipf.sample(&mut rng)] += 1;
+        }
+        for &c in &counts {
+            let share = c as f64 / 16_000.0;
+            assert!(
+                (share - 1.0 / n as f64).abs() < 0.02,
+                "rank share {share} strays from uniform"
+            );
+        }
+    }
+
+    #[test]
+    fn rebuilding_the_sampler_preserves_the_inverse_cdf_bit_for_bit() {
+        // Two independently constructed samplers with the same parameters
+        // must drive the same seeded rng stream to the same ranks — the
+        // determinism contract callers rely on when a sampler is rebuilt
+        // (e.g. across bench runs on different worker counts).
+        let a = ZipfSampler::new(23, 1.05);
+        let b = ZipfSampler::new(23, 1.05);
+        for rank in 0..23 {
+            assert_eq!(a.mass(rank).to_bits(), b.mass(rank).to_bits());
+        }
+        let draw = |zipf: &ZipfSampler| -> Vec<usize> {
+            let mut rng = StdRng::seed_from_u64(77);
+            (0..400).map(|_| zipf.sample(&mut rng)).collect()
+        };
+        assert_eq!(draw(&a), draw(&b));
+    }
 }

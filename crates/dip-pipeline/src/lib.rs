@@ -11,6 +11,9 @@
 //!   separated modality-aware placement in three [`PlacementMode`]s
 //!   (round-robin equal split, capacity-aware spec-sheet weighting, and the
 //!   latency-balanced per-device DP);
+//! * [`migration`] — state-migration accounting for elastic replanning:
+//!   bytes of optimizer/parameter state a topology change forces to move,
+//!   priced at per-edge link bandwidth ([`MigrationCost`]);
 //! * [`graph`] — the stage graph of one training iteration: every forward and
 //!   backward stage execution with its data dependencies, latencies and
 //!   memory effects;
@@ -62,6 +65,7 @@ pub mod baselines;
 pub mod dual_queue;
 pub mod executor;
 pub mod graph;
+pub mod migration;
 pub mod par;
 pub mod partition;
 pub mod placement;
@@ -75,6 +79,7 @@ pub use graph::{
     Direction, GraphBuildStats, PreparedWorkloads, StageGraph, StageGraphBuilder, StageId,
     SubMicrobatchPlan, WorkItem,
 };
+pub use migration::{full_restore_cost, migration_cost, MigrationCost};
 pub use partition::{
     balanced_latency_placement, balanced_param_placement, capacity_aware_separated_placement,
     latency_balanced_separated_placement, separated_placement, PlacementMode,

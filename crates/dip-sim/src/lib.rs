@@ -12,8 +12,9 @@
 //! * [`topology`] — heterogeneous cluster topologies: per-node device
 //!   groups, the rank-pair link model (NVLink vs RoCE per edge), the
 //!   per-device latency query ([`ClusterTopology::rank_timing`]) behind
-//!   latency-balanced placement, and stable topology fingerprints for
-//!   plan-cache keys;
+//!   latency-balanced placement, stable topology fingerprints for
+//!   plan-cache keys, and [`TopologyDelta`] diffing with stable rank
+//!   remapping (the elastic-replanning substrate);
 //! * [`efficiency`] — efficiency scaling factors plus a utilisation curve
 //!   that models the drop-off for very small kernels (the effect behind the
 //!   95%-of-peak sub-microbatch sizing rule, §4 / Fig. 9);
@@ -62,4 +63,4 @@ pub use engine::{EngineError, EngineReport, RankTimeline, SimEngine, Task, TaskI
 pub use hardware::{ClusterSpec, GpuGeneration, GpuSpec};
 pub use metrics::{mfu, IterationMetrics};
 pub use timing::{StageTiming, TimingModel};
-pub use topology::{ClusterTopology, NodeSpec};
+pub use topology::{ClusterTopology, NodeSpec, TopologyDelta};

@@ -272,6 +272,17 @@ impl ClusterTopology {
     /// the node grouping contribute, so two topologies fingerprint equal
     /// exactly when they describe the same cluster. Folded into plan-cache
     /// keys so plans for different clusters never collide.
+    ///
+    /// # Ordering contract
+    ///
+    /// The node list is **ordered**, and the order is semantic: global GPU
+    /// indices — and therefore the pipeline-rank → device mapping of
+    /// [`ClusterTopology::rank_device`] — follow node order, so two clusters
+    /// holding the same multiset of nodes in different orders execute every
+    /// rank on different hardware. The fingerprint honours this by folding
+    /// nodes in list order: permuting a *heterogeneous* node list yields a
+    /// different fingerprint. Only permutations that exchange byte-identical
+    /// nodes (which change nothing observable) fingerprint equal.
     pub fn fingerprint(&self) -> u64 {
         let mut acc = 0xA076_1D64_78BD_642Fu64 ^ (self.nodes.len() as u64);
         let mut mix = |value: u64| {
@@ -290,6 +301,140 @@ impl ClusterTopology {
             mix(node.gpu.net_bandwidth.to_bits());
         }
         acc
+    }
+
+    /// Number of *physical* pipeline-rank slots the cluster offers at
+    /// tensor-parallel degree `tp`: `num_gpus / tp`, at least one. Logical
+    /// pipeline ranks beyond this count wrap onto the same devices (the
+    /// oversubscription rule of [`ClusterTopology::rank_device`]).
+    pub fn physical_ranks(&self, tp: usize) -> usize {
+        (self.num_gpus() / tp.max(1)).max(1)
+    }
+
+    /// Diffs `self` (the old topology) against `new` at physical
+    /// pipeline-rank granularity — the elastic-replanning substrate. See
+    /// [`TopologyDelta::between`] for the matching rules.
+    pub fn delta_to(&self, new: &Self, tp: usize) -> TopologyDelta {
+        TopologyDelta::between(self, new, tp)
+    }
+}
+
+/// The difference between two cluster topologies at physical pipeline-rank
+/// granularity: which rank slots vanished, which appeared, and a **stable
+/// remapping** for the slots whose hosting device survives the change.
+///
+/// Elastic replanning uses the remapping to decide which optimizer/parameter
+/// state can stay in place across a failure or scale event and which must
+/// move over the wire.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TopologyDelta {
+    /// Old physical pipeline ranks whose hosting device no longer exists in
+    /// the new topology (state held there must be restored from a replica or
+    /// checkpoint).
+    pub removed: Vec<usize>,
+    /// New physical pipeline ranks with no counterpart in the old topology
+    /// (freshly added capacity, initially empty of state).
+    pub added: Vec<usize>,
+    /// Stable `(old physical rank, new physical rank)` pairs for ranks whose
+    /// hosting device survives the change, in old-rank order.
+    pub surviving: Vec<(usize, usize)>,
+    old_to_new: Vec<Option<usize>>,
+    new_ranks: usize,
+}
+
+impl TopologyDelta {
+    /// Diffs two topologies at tensor-parallel degree `tp`.
+    ///
+    /// Nodes are matched greedily in list order: each old node pairs with
+    /// the first not-yet-matched new node of identical [`NodeSpec`]. This is
+    /// deterministic, stable under appending new nodes, and — because
+    /// exchanging byte-identical nodes changes nothing observable — it never
+    /// affects link pricing or byte accounting. An old physical rank whose
+    /// first GPU falls in a matched node survives when its GPU offset lands
+    /// tensor-parallel-aligned inside the matched new node; every other old
+    /// rank is [`TopologyDelta::removed`].
+    pub fn between(old: &ClusterTopology, new: &ClusterTopology, tp: usize) -> Self {
+        let tp = tp.max(1);
+        let old_ranks = old.physical_ranks(tp);
+        let new_ranks = new.physical_ranks(tp);
+        let offsets = |topo: &ClusterTopology| -> Vec<usize> {
+            let mut acc = 0;
+            topo.nodes()
+                .iter()
+                .map(|n| {
+                    let start = acc;
+                    acc += n.gpus;
+                    start
+                })
+                .collect()
+        };
+        let old_offsets = offsets(old);
+        let new_offsets = offsets(new);
+        let mut matched = vec![None; old.num_nodes()];
+        let mut taken = vec![false; new.num_nodes()];
+        for (i, node) in old.nodes().iter().enumerate() {
+            let hit = new
+                .nodes()
+                .iter()
+                .enumerate()
+                .find(|(j, cand)| !taken[*j] && *cand == node)
+                .map(|(j, _)| j);
+            if let Some(j) = hit {
+                matched[i] = Some(j);
+                taken[j] = true;
+            }
+        }
+        let mut removed = Vec::new();
+        let mut surviving = Vec::new();
+        let mut old_to_new = vec![None; old_ranks];
+        for (p, slot) in old_to_new.iter_mut().enumerate() {
+            let gpu = p * tp;
+            let node = old.node_of(gpu);
+            let target = matched[node].map(|m| new_offsets[m] + (gpu - old_offsets[node]));
+            match target {
+                Some(gpu) if gpu % tp == 0 && gpu / tp < new_ranks => {
+                    *slot = Some(gpu / tp);
+                    surviving.push((p, gpu / tp));
+                }
+                _ => removed.push(p),
+            }
+        }
+        let mut covered = vec![false; new_ranks];
+        for &(_, q) in &surviving {
+            covered[q] = true;
+        }
+        let added = (0..new_ranks).filter(|&q| !covered[q]).collect();
+        Self {
+            removed,
+            added,
+            surviving,
+            old_to_new,
+            new_ranks,
+        }
+    }
+
+    /// The new physical rank holding old physical rank `old`'s device, if it
+    /// survives the change.
+    pub fn old_to_new(&self, old: usize) -> Option<usize> {
+        self.old_to_new.get(old).copied().flatten()
+    }
+
+    /// Number of physical pipeline-rank slots in the old topology.
+    pub fn num_old_ranks(&self) -> usize {
+        self.old_to_new.len()
+    }
+
+    /// Number of physical pipeline-rank slots in the new topology.
+    pub fn num_new_ranks(&self) -> usize {
+        self.new_ranks
+    }
+
+    /// True when nothing changed: no rank removed or added and every
+    /// surviving rank keeps its index.
+    pub fn is_identity(&self) -> bool {
+        self.removed.is_empty()
+            && self.added.is_empty()
+            && self.surviving.iter().all(|&(p, q)| p == q)
     }
 }
 
@@ -388,5 +533,65 @@ mod tests {
     fn empty_topologies_are_rejected() {
         let gpu = GpuSpec::preset(GpuGeneration::H800);
         ClusterTopology::new(vec![NodeSpec::new(gpu, 0)]);
+    }
+
+    #[test]
+    fn delta_of_an_unchanged_topology_is_the_identity() {
+        let topo = ClusterTopology::mixed_h800_h20(1, 1);
+        let delta = topo.delta_to(&topo, 4);
+        assert!(delta.is_identity());
+        assert_eq!(delta.surviving.len(), topo.physical_ranks(4));
+        assert!(delta.removed.is_empty());
+        assert!(delta.added.is_empty());
+    }
+
+    #[test]
+    fn killing_the_tail_node_removes_its_ranks_and_keeps_the_head_in_place() {
+        // 1×8 H800 + 1×8 H20 at TP=4: physical ranks 0-1 on H800, 2-3 on H20.
+        let old = ClusterTopology::mixed_h800_h20(1, 1);
+        let new = ClusterTopology::mixed_h800_h20(1, 0);
+        let delta = old.delta_to(&new, 4);
+        assert_eq!(delta.surviving, vec![(0, 0), (1, 1)]);
+        assert_eq!(delta.removed, vec![2, 3]);
+        assert!(delta.added.is_empty());
+        assert_eq!(delta.old_to_new(0), Some(0));
+        assert_eq!(delta.old_to_new(2), None);
+        assert!(!delta.is_identity());
+    }
+
+    #[test]
+    fn killing_the_head_node_remaps_the_survivors_stably() {
+        // Losing the H800 node leaves the H20 node as the new node 0: the
+        // H20-hosted ranks 2-3 survive as physical ranks 0-1.
+        let old = ClusterTopology::mixed_h800_h20(1, 1);
+        let new = ClusterTopology::mixed_h800_h20(0, 1);
+        let delta = old.delta_to(&new, 4);
+        assert_eq!(delta.surviving, vec![(2, 0), (3, 1)]);
+        assert_eq!(delta.removed, vec![0, 1]);
+        assert!(delta.added.is_empty());
+    }
+
+    #[test]
+    fn growing_the_cluster_adds_fresh_ranks_without_touching_survivors() {
+        let old = ClusterTopology::mixed_h800_h20(1, 0);
+        let new = ClusterTopology::mixed_h800_h20(2, 0);
+        let delta = old.delta_to(&new, 4);
+        assert_eq!(delta.surviving, vec![(0, 0), (1, 1)]);
+        assert!(delta.removed.is_empty());
+        assert_eq!(delta.added, vec![2, 3]);
+        assert_eq!(delta.num_old_ranks(), 2);
+        assert_eq!(delta.num_new_ranks(), 4);
+    }
+
+    #[test]
+    fn replacing_a_node_with_a_different_kind_removes_and_adds() {
+        // Swapping the H20 node for a second H800 node: the H20 ranks have
+        // no surviving device, the new H800 ranks are fresh capacity.
+        let old = ClusterTopology::mixed_h800_h20(1, 1);
+        let new = ClusterTopology::mixed_h800_h20(2, 0);
+        let delta = old.delta_to(&new, 4);
+        assert_eq!(delta.surviving, vec![(0, 0), (1, 1)]);
+        assert_eq!(delta.removed, vec![2, 3]);
+        assert_eq!(delta.added, vec![2, 3]);
     }
 }

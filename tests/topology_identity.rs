@@ -156,4 +156,39 @@ proptest! {
             ClusterTopology::new(base_nodes).fingerprint()
         );
     }
+
+    /// Node order is part of a topology's identity: rank *r* occupies the
+    /// GPUs of the *r*-th slot in the node list, so two heterogeneous
+    /// clusters with the same multiset of nodes in different orders host
+    /// every rank differently and must fingerprint differently — while
+    /// byte-identical node lists fingerprint equal. (This pins the
+    /// "Ordering contract" documented on `ClusterTopology::fingerprint`.)
+    #[test]
+    fn fingerprints_are_order_sensitive_on_heterogeneous_node_lists(
+        rotation in 1usize..4,
+        h20_gpus in 3usize..9,
+    ) {
+        let h800 = GpuSpec::preset(GpuGeneration::H800);
+        let h20 = GpuSpec::preset(GpuGeneration::H20);
+        // Four pairwise-distinct nodes, so every nontrivial rotation
+        // changes the spec at some position.
+        let nodes = vec![
+            NodeSpec::new(h800, 8),
+            NodeSpec::new(h20, h20_gpus),
+            NodeSpec::new(h800, 4),
+            NodeSpec::new(h20, 2),
+        ];
+        let mut rotated = nodes.clone();
+        rotated.rotate_left(rotation);
+
+        prop_assert_ne!(
+            ClusterTopology::new(nodes.clone()).fingerprint(),
+            ClusterTopology::new(rotated).fingerprint(),
+            "permuted heterogeneous node lists must fingerprint differently"
+        );
+        prop_assert_eq!(
+            ClusterTopology::new(nodes.clone()).fingerprint(),
+            ClusterTopology::new(nodes).fingerprint()
+        );
+    }
 }
