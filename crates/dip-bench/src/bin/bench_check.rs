@@ -15,10 +15,24 @@
 //! `info` metrics (wall-clock timings, latency percentiles, regret
 //! observations) are recorded in the artifact but never compared.
 //!
+//! Two calibration-specific checks ride along:
+//!
+//! * `--calibration <CALIBRATION_default.json>` asserts the committed
+//!   reference calibration artifact is **bit-identical** to the built-in
+//!   constants compiled into `dip-sim`
+//!   ([`dip_sim::CalibrationArtifact::builtin_defaults`]) — the committed
+//!   file and the code must never drift apart (regenerate with
+//!   `dip-calibrate --builtin --out CALIBRATION_default.json`).
+//! * Any `quota_wall_mismatch` Info metric in the current reports (emitted
+//!   by `dip-calibrate`) outside a sane band prints a **staleness
+//!   warning** — non-fatal, because the value is wall-clock dependent, but
+//!   a drifting ratio means the reference cost model no longer describes
+//!   the machine and the fleet artifact should be re-fitted.
+//!
 //! Usage:
 //!
 //! ```text
-//! bench_check --baseline BENCH_baseline.json current1.json [current2.json ...]
+//! bench_check --baseline BENCH_baseline.json [--calibration CALIBRATION_default.json] current1.json [...]
 //! bench_check --write-baseline BENCH_baseline.json current1.json [...]
 //! ```
 //!
@@ -27,6 +41,7 @@
 
 use dip_bench::json::{self, JsonValue};
 use dip_bench::{BenchReport, MetricKind};
+use dip_sim::CalibrationArtifact;
 use std::process::ExitCode;
 
 /// Regression tolerance for `sim_time` metrics.
@@ -178,10 +193,80 @@ fn compare(baseline: &[BenchReport], current: &[BenchReport]) -> (Vec<Failure>, 
     (failures, compared)
 }
 
+/// The sane band for the `quota_wall_mismatch` staleness metric: the
+/// reference cost model deliberately over-estimates per-evaluation cost, so
+/// healthy machines sit well below 1.0; a ratio **above** 1 means virtual
+/// budgets buy more work than their wall-clock namesake (budget overruns),
+/// and one below the floor suggests a degenerate measurement.
+const MISMATCH_WARN_HIGH: f64 = 2.0;
+const MISMATCH_WARN_LOW: f64 = 1e-3;
+
+/// Asserts the committed reference calibration artifact equals the built-in
+/// constants bit for bit. Any drift — schema, device parameters, cost
+/// models, latencies — is a gate failure.
+fn check_calibration(path: &str) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let artifact = CalibrationArtifact::from_json(&text).map_err(|e| format!("{path}: {e}"))?;
+    let builtin = CalibrationArtifact::builtin_defaults();
+    if artifact != builtin {
+        return Err(format!(
+            "{path} is out of sync with the built-in constants; regenerate with \
+             `dip-calibrate --builtin --out {path}` and commit it"
+        ));
+    }
+    // Belt and braces: the canonical serialization must also match, so the
+    // committed bytes round-trip through the current writer.
+    if artifact.to_json() != builtin.to_json() {
+        return Err(format!(
+            "{path} parses equal but serializes differently; regenerate with \
+             `dip-calibrate --builtin --out {path}`"
+        ));
+    }
+    println!(
+        "bench_check: {path} in sync with built-in constants ({} device kind(s), schema v{})",
+        builtin.devices.len(),
+        builtin.schema_version
+    );
+    Ok(())
+}
+
+/// Prints staleness warnings for out-of-band `quota_wall_mismatch` metrics.
+/// Never fails the gate: the ratio is wall-clock dependent by design.
+fn warn_on_stale_calibration(current: &[BenchReport]) {
+    for report in current {
+        for metric in &report.metrics {
+            if metric.kind != MetricKind::Info || !metric.name.contains("quota_wall_mismatch") {
+                continue;
+            }
+            if metric.value > MISMATCH_WARN_HIGH || metric.value < MISMATCH_WARN_LOW {
+                println!(
+                    "bench_check: WARNING [{}] {} = {:.4} outside [{MISMATCH_WARN_LOW}, \
+                     {MISMATCH_WARN_HIGH}] — the reference cost model looks stale for this \
+                     machine; re-run dip-calibrate and distribute a fresh artifact",
+                    report.bench, metric.name, metric.value
+                );
+            }
+        }
+    }
+}
+
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let usage = "usage: bench_check --baseline <BENCH_baseline.json> <current.json>... \
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let usage = "usage: bench_check --baseline <BENCH_baseline.json> \
+                 [--calibration <CALIBRATION_default.json>] <current.json>... \
                  | --write-baseline <BENCH_baseline.json> <current.json>...";
+    let calibration_path = match args.iter().position(|a| a == "--calibration") {
+        Some(pos) if pos + 1 < args.len() => {
+            let path = args.remove(pos + 1);
+            args.remove(pos);
+            Some(path)
+        }
+        Some(_) => {
+            eprintln!("{usage}");
+            return ExitCode::FAILURE;
+        }
+        None => None,
+    };
     let (mode, rest) = match args.split_first() {
         Some((flag, rest)) if flag == "--baseline" || flag == "--write-baseline" => {
             (flag.clone(), rest)
@@ -229,11 +314,21 @@ fn main() -> ExitCode {
         }
     };
 
-    let (failures, compared) = compare(&baseline, &current);
+    let (mut failures, compared) = compare(&baseline, &current);
     println!(
         "bench_check: {} report(s), {compared} gated metric(s) compared against {baseline_path}",
         current.len()
     );
+    if let Some(path) = &calibration_path {
+        if let Err(reason) = check_calibration(path) {
+            failures.push(Failure {
+                bench: "<calibration>".into(),
+                metric: path.clone(),
+                reason,
+            });
+        }
+    }
+    warn_on_stale_calibration(&current);
     if failures.is_empty() {
         println!("bench_check: OK — no simulated-time regression, no determinism mismatch");
         ExitCode::SUCCESS

@@ -10,7 +10,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
-pub mod json;
+pub use dip_models::json;
 
 use crate::json::JsonValue;
 use dip_core::{BucketingConfig, PlanRequest, PlannerConfig, PlanningSession};

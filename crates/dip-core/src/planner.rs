@@ -14,7 +14,10 @@ use dip_pipeline::{
     dual_queue, execute, DualQueueConfig, ExecutionOutcome, ExecutorConfig, MemoryPlan,
     ParallelConfig, Placement, RankOrders, StageGraph, StageGraphBuilder, SubMicrobatchPlan,
 };
-use dip_sim::{ClusterSpec, ClusterTopology, EfficiencyModel, TimingModel};
+use dip_sim::{
+    CalibrationRegistry, CalibrationSource, ClusterSpec, ClusterTopology, EfficiencyModel,
+    TimingModel,
+};
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use std::time::{Duration, Instant};
@@ -42,6 +45,14 @@ pub struct PlannerConfig {
     /// Set together with `search.workers` via
     /// [`PlannerConfig::with_num_threads`].
     pub num_threads: usize,
+    /// Fleet calibration artifacts, consulted when the planner is bound to
+    /// a topology: the registry resolves through its fallback chain (exact
+    /// fingerprint → device-kind defaults → built-in constants), rewrites
+    /// the topology's device timing parameters and installs the calibrated
+    /// link latencies and virtual-clock [`dip_sim::CostModel`]s into this
+    /// config. `None` skips resolution entirely and is bit-identical to a
+    /// registry that resolves to the built-in tier.
+    pub calibration: Option<CalibrationRegistry>,
 }
 
 impl Default for PlannerConfig {
@@ -54,6 +65,7 @@ impl Default for PlannerConfig {
             enable_search: true,
             enable_memory_opt: true,
             num_threads: 4,
+            calibration: None,
         }
     }
 }
@@ -107,6 +119,13 @@ impl PlannerConfig {
         let n = n.max(1);
         self.search.workers = n;
         self.num_threads = n;
+        self
+    }
+
+    /// Installs a fleet calibration registry; see
+    /// [`PlannerConfig::calibration`].
+    pub fn with_calibration(mut self, registry: CalibrationRegistry) -> Self {
+        self.calibration = Some(registry);
         self
     }
 }
@@ -275,6 +294,7 @@ pub struct DipPlanner<'a> {
     pub(crate) topology: ClusterTopology,
     pub(crate) config: PlannerConfig,
     timing: TimingModel,
+    calibration_source: CalibrationSource,
     partition: Mutex<Option<PartitionerOutput>>,
 }
 
@@ -299,9 +319,26 @@ impl<'a> DipPlanner<'a> {
     pub fn on_topology(
         spec: &'a LmmSpec,
         parallel: ParallelConfig,
-        topology: ClusterTopology,
-        config: PlannerConfig,
+        mut topology: ClusterTopology,
+        mut config: PlannerConfig,
     ) -> Self {
+        // Resolve the fleet calibration once, up front: the resolved
+        // artifact rewrites the topology's device timing parameters, so
+        // every downstream pricing site (stage graph, placement DP,
+        // executor, cache fingerprints) sees calibrated devices without
+        // any per-site plumbing. A constants-encoding artifact rewrites
+        // every field to its current value and is bit-identical to `None`.
+        let calibration_source = match &config.calibration {
+            Some(registry) => {
+                let resolved = registry.resolve(&topology);
+                topology = resolved.apply(&topology);
+                resolved.apply_latencies(&mut config.efficiency);
+                config.search.eval_cost = resolved.eval_cost;
+                config.memory.node_cost = resolved.ilp_node_cost;
+                resolved.source
+            }
+            None => CalibrationSource::BuiltIn,
+        };
         // Offline decisions that predate placement (segment counts,
         // sub-microbatch sizes) are priced on the reference device.
         let timing = TimingModel::new(topology.reference_device(), config.efficiency);
@@ -311,8 +348,16 @@ impl<'a> DipPlanner<'a> {
             topology,
             config,
             timing,
+            calibration_source,
             partition: Mutex::new(None),
         }
+    }
+
+    /// Which tier of the calibration fallback chain supplied this planner's
+    /// timing parameters ([`dip_sim::CalibrationSource::BuiltIn`] when no
+    /// registry is configured).
+    pub fn calibration_source(&self) -> CalibrationSource {
+        self.calibration_source
     }
 
     /// The reference timing model used by the planner for offline decisions.

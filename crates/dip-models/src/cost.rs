@@ -43,6 +43,29 @@ impl LayerCost {
         self.param_bytes + 2 * self.activation_bytes + self.grad_bytes
     }
 
+    /// Arithmetic intensity of the forward pass in FLOP per byte of GPU
+    /// memory traffic (`fwd_flops / fwd_mem_bytes`). Comparing this against
+    /// a device's machine balance (FLOP/B ridge point) tells whether the
+    /// layer is compute- or memory-bound there. Returns `f64::INFINITY`
+    /// when the layer moves no memory.
+    pub fn fwd_arithmetic_intensity(&self) -> f64 {
+        if self.fwd_mem_bytes == 0 {
+            return f64::INFINITY;
+        }
+        self.fwd_flops / self.fwd_mem_bytes as f64
+    }
+
+    /// Arithmetic intensity of the backward pass in FLOP/B
+    /// (`bwd_flops / bwd_mem_bytes()`); see
+    /// [`LayerCost::fwd_arithmetic_intensity`].
+    pub fn bwd_arithmetic_intensity(&self) -> f64 {
+        let mem = self.bwd_mem_bytes();
+        if mem == 0 {
+            return f64::INFINITY;
+        }
+        self.bwd_flops / mem as f64
+    }
+
     /// Scales every extensive quantity by `factor` (used when a workload is
     /// split into sub-microbatches while the parameters stay resident).
     pub fn scale_activations(&self, factor: f64) -> LayerCost {

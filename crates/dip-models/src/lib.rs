@@ -39,6 +39,7 @@ mod modality;
 mod module;
 mod workload;
 
+pub mod json;
 pub mod zoo;
 
 pub use canonical::{BucketingConfig, CanonicalSignature};

@@ -28,6 +28,13 @@ pub struct EfficiencyModel {
     pub half_utilisation_flops: f64,
     /// Fixed per-stage launch/framework overhead in seconds.
     pub stage_overhead_s: f64,
+    /// Fixed point-to-point link latency in seconds, added to every
+    /// non-empty inter-rank transfer (cable + NIC + software stack).
+    /// Calibrated from the fleet artifact; defaults to 15 µs.
+    pub link_latency_s: f64,
+    /// Fixed base latency of a collective (ring all-reduce setup) in
+    /// seconds. Calibrated from the fleet artifact; defaults to 50 µs.
+    pub collective_latency_s: f64,
 }
 
 impl Default for EfficiencyModel {
@@ -38,6 +45,75 @@ impl Default for EfficiencyModel {
             network_efficiency: 0.85,
             half_utilisation_flops: 2.0e11,
             stage_overhead_s: 200e-6,
+            link_latency_s: 15e-6,
+            collective_latency_s: 50e-6,
+        }
+    }
+}
+
+/// The three separately saturating resource times of one operator under the
+/// ECM-style roofline, plus the fixed stage overhead. Units are seconds.
+///
+/// The operator's latency is
+/// `max(compute_s, memory_s, network_s) + overhead_s`
+/// ([`RooflineBreakdown::total_s`]); whichever term wins the `max` is the
+/// operator's *bound* ([`RooflineBreakdown::bound`]). The breakdown exists so
+/// callers (placement heuristics, `fig13_calibration`) can see *why* a layer
+/// is slow — a memory-bound layer gains nothing from a faster device with the
+/// same memory system, which is exactly the distinction that makes
+/// latency-balanced placement beat capacity-aware placement on mixed
+/// H800+H20 fleets.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RooflineBreakdown {
+    /// Time the operator would take if only compute saturated (s):
+    /// `N_fop / (F · α_fop · utilisation)`.
+    pub compute_s: f64,
+    /// Time if only memory bandwidth saturated (s): `N_mem / (B_mem · α_mem)`.
+    pub memory_s: f64,
+    /// Time if only the interconnect saturated (s): `N_net / (B_net · α_net)`.
+    pub network_s: f64,
+    /// Fixed launch/framework overhead (s), added outside the `max`.
+    pub overhead_s: f64,
+}
+
+impl RooflineBreakdown {
+    /// The operator latency: `max(compute, memory, network) + overhead`.
+    /// Bit-identical to [`EfficiencyModel::op_latency`].
+    pub fn total_s(&self) -> f64 {
+        self.compute_s.max(self.memory_s).max(self.network_s) + self.overhead_s
+    }
+
+    /// Which resource the operator saturates (ties resolve in the order
+    /// compute > memory > network, matching the `max` chain).
+    pub fn bound(&self) -> RooflineBound {
+        let m = self.compute_s.max(self.memory_s).max(self.network_s);
+        if self.compute_s >= m {
+            RooflineBound::Compute
+        } else if self.memory_s >= m {
+            RooflineBound::Memory
+        } else {
+            RooflineBound::Network
+        }
+    }
+}
+
+/// The saturating resource of an operator under the roofline model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RooflineBound {
+    /// Limited by FLOP throughput (arithmetic intensity above the ridge).
+    Compute,
+    /// Limited by GPU memory bandwidth (intensity below the ridge).
+    Memory,
+    /// Limited by the interconnect (TP all-reduce volume dominates).
+    Network,
+}
+
+impl std::fmt::Display for RooflineBound {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RooflineBound::Compute => write!(f, "compute"),
+            RooflineBound::Memory => write!(f, "memory"),
+            RooflineBound::Network => write!(f, "network"),
         }
     }
 }
@@ -71,8 +147,49 @@ impl EfficiencyModel {
         peak_flops * self.compute_efficiency * self.utilisation(work_flops).max(1e-6)
     }
 
+    /// Per-resource roofline decomposition of one operator.
+    ///
+    /// Computes the three ECM terms — `T_comp = N_fop / (F·α_fop·u(N_fop))`,
+    /// `T_mem = N_mem / (B_mem·α_mem)`, `T_net = N_net / (B_net·α_net)` —
+    /// without taking the `max`, so callers can classify the operator.
+    /// Units: `peak_flops` in FLOP/s, bandwidths in B/s, `work_flops` in
+    /// FLOP, byte counts in B; every returned term is in seconds.
+    pub fn op_breakdown(
+        &self,
+        peak_flops: f64,
+        mem_bandwidth: f64,
+        net_bandwidth: f64,
+        work_flops: f64,
+        mem_bytes: f64,
+        net_bytes: f64,
+    ) -> RooflineBreakdown {
+        let compute_s = if work_flops > 0.0 {
+            work_flops / self.effective_flops(peak_flops, work_flops)
+        } else {
+            0.0
+        };
+        let memory_s = if mem_bytes > 0.0 {
+            mem_bytes / (mem_bandwidth * self.memory_efficiency)
+        } else {
+            0.0
+        };
+        let network_s = if net_bytes > 0.0 {
+            net_bytes / (net_bandwidth * self.network_efficiency)
+        } else {
+            0.0
+        };
+        RooflineBreakdown {
+            compute_s,
+            memory_s,
+            network_s,
+            overhead_s: self.stage_overhead_s,
+        }
+    }
+
     /// Latency of a compute-, memory- and network-bound operator, i.e. the
-    /// paper's `max(...)` formula plus the fixed stage overhead.
+    /// paper's `max(...)` formula plus the fixed stage overhead:
+    /// `max(T_comp, T_mem, T_net) + T_overhead` (all in seconds). Equal to
+    /// [`EfficiencyModel::op_breakdown`]`.total_s()` bit for bit.
     pub fn op_latency(
         &self,
         peak_flops: f64,
@@ -82,22 +199,25 @@ impl EfficiencyModel {
         mem_bytes: f64,
         net_bytes: f64,
     ) -> f64 {
-        let compute = if work_flops > 0.0 {
-            work_flops / self.effective_flops(peak_flops, work_flops)
-        } else {
-            0.0
-        };
-        let memory = if mem_bytes > 0.0 {
-            mem_bytes / (mem_bandwidth * self.memory_efficiency)
-        } else {
-            0.0
-        };
-        let network = if net_bytes > 0.0 {
-            net_bytes / (net_bandwidth * self.network_efficiency)
-        } else {
-            0.0
-        };
-        compute.max(memory).max(network) + self.stage_overhead_s
+        self.op_breakdown(
+            peak_flops,
+            mem_bandwidth,
+            net_bandwidth,
+            work_flops,
+            mem_bytes,
+            net_bytes,
+        )
+        .total_s()
+    }
+
+    /// The machine balance (ridge point) of a device under this model:
+    /// the arithmetic intensity in FLOP/B at which an asymptotically large
+    /// kernel transitions from memory-bound to compute-bound,
+    /// `(F·α_fop) / (B_mem·α_mem)`. Layers whose
+    /// [`dip_models::LayerCost::fwd_arithmetic_intensity`] sits below this
+    /// value are priced by the memory term of the roofline.
+    pub fn machine_balance(&self, peak_flops: f64, mem_bandwidth: f64) -> f64 {
+        (peak_flops * self.compute_efficiency) / (mem_bandwidth * self.memory_efficiency)
     }
 
     /// The smallest amount of work (FLOPs) that achieves at least `target`

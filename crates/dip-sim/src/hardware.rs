@@ -66,6 +66,27 @@ impl GpuSpec {
     pub fn usable_memory(&self) -> u64 {
         (self.mem_capacity as f64 * 0.92) as u64
     }
+
+    /// A stable 64-bit key identifying this *device kind* — a splitmix-style
+    /// fold over all five spec fields (timing fields by `f64` bit pattern).
+    /// Two `GpuSpec`s share a key exactly when they are byte-identical, so
+    /// the calibration registry can match artifact entries to the devices of
+    /// a [`ClusterTopology`] without naming GPU generations.
+    pub fn device_key(&self) -> u64 {
+        let mut acc = 0x5851_F42D_4C95_7F2Du64;
+        let mut mix = |value: u64| {
+            let mut z = acc.wrapping_add(value).wrapping_add(0x9E37_79B9_7F4A_7C15);
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            acc = z ^ (z >> 31);
+        };
+        mix(self.peak_flops.to_bits());
+        mix(self.mem_bandwidth.to_bits());
+        mix(self.mem_capacity);
+        mix(self.nvlink_bandwidth.to_bits());
+        mix(self.net_bandwidth.to_bits());
+        acc
+    }
 }
 
 /// A homogeneous GPU cluster.

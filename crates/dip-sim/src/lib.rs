@@ -25,7 +25,10 @@
 //!   and memory traces;
 //! * [`metrics`] — MFU and throughput helpers;
 //! * [`calibration`] — fits efficiency factors against "measured" reference
-//!   executions (the pre-/post-calibration study of Fig. 13).
+//!   executions (the pre-/post-calibration study of Fig. 13);
+//! * [`artifact`] — the persistent fleet calibration artifact: versioned
+//!   JSON holding per-device ECM parameters and fitted cost models, keyed
+//!   by topology fingerprint with a documented fallback chain.
 
 //! # Example
 //!
@@ -49,6 +52,7 @@
 #![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod artifact;
 pub mod calibration;
 pub mod efficiency;
 pub mod engine;
@@ -57,8 +61,12 @@ pub mod metrics;
 pub mod timing;
 pub mod topology;
 
+pub use artifact::{
+    ArtifactError, CalibrationArtifact, CalibrationRegistry, CalibrationSource, EcmDeviceParams,
+    ResolvedCalibration, CALIBRATION_SCHEMA_VERSION,
+};
 pub use calibration::{calibrate, CalibrationSample, CostModel, CostSample};
-pub use efficiency::EfficiencyModel;
+pub use efficiency::{EfficiencyModel, RooflineBound, RooflineBreakdown};
 pub use engine::{EngineError, EngineReport, RankTimeline, SimEngine, Task, TaskId, TaskKind};
 pub use hardware::{ClusterSpec, GpuGeneration, GpuSpec};
 pub use metrics::{mfu, IterationMetrics};

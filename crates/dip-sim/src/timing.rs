@@ -1,6 +1,33 @@
 //! Conversion of analytical layer costs into stage latencies.
+//!
+//! # The ECM-style roofline
+//!
+//! Every stage is priced as three separately saturating resources, in the
+//! spirit of the execution-cache-memory (ECM) model:
+//!
+//! ```text
+//! T_op = max( N_fop / (F     · α_fop · u(N_fop)),     compute   [s]
+//!             N_mem / (B_mem · α_mem),                memory    [s]
+//!             N_net / (B_net · α_net) )               network   [s]
+//!        + T_overhead
+//! ```
+//!
+//! with `F` the device peak in FLOP/s, `B_mem` the memory bandwidth in B/s,
+//! `B_net` the tensor-parallel interconnect bandwidth in B/s, the `α` factors
+//! the calibrated efficiency fractions, and `u(·)` the small-kernel
+//! utilisation roll-off ([`EfficiencyModel::utilisation`]). A layer whose
+//! arithmetic intensity `N_fop / N_mem` (FLOP/B) sits below the device's
+//! machine balance `(F·α_fop)/(B_mem·α_mem)` is *memory-bound* — it gains
+//! nothing from more FLOP/s. [`TimingModel::forward_roofline`] exposes the
+//! per-resource terms so callers can classify instead of just summing.
+//!
+//! Communication edges are priced against calibrated link parameters:
+//! `bytes / (B_link · α_net) + link_latency_s` for point-to-point and the
+//! ring-all-reduce volume plus `collective_latency_s` for collectives. Both
+//! fixed latencies live on [`EfficiencyModel`] and are supplied by the
+//! calibration artifact ([`crate::CalibrationArtifact`]).
 
-use crate::efficiency::EfficiencyModel;
+use crate::efficiency::{EfficiencyModel, RooflineBreakdown};
 use crate::hardware::GpuSpec;
 use dip_models::LayerCost;
 use serde::{Deserialize, Serialize};
@@ -66,6 +93,42 @@ impl TimingModel {
         )
     }
 
+    /// Per-resource roofline terms of the forward pass.
+    /// `forward_roofline(c).total_s()` equals [`TimingModel::forward_latency`]
+    /// bit for bit; the breakdown additionally tells *which* resource the
+    /// layer saturates on this device.
+    pub fn forward_roofline(&self, cost: &LayerCost) -> RooflineBreakdown {
+        self.efficiency.op_breakdown(
+            self.gpu.peak_flops,
+            self.gpu.mem_bandwidth,
+            self.gpu.nvlink_bandwidth,
+            cost.fwd_flops,
+            cost.fwd_mem_bytes as f64,
+            cost.tp_comm_bytes as f64,
+        )
+    }
+
+    /// Per-resource roofline terms of the backward pass; see
+    /// [`TimingModel::forward_roofline`].
+    pub fn backward_roofline(&self, cost: &LayerCost) -> RooflineBreakdown {
+        self.efficiency.op_breakdown(
+            self.gpu.peak_flops,
+            self.gpu.mem_bandwidth,
+            self.gpu.nvlink_bandwidth,
+            cost.bwd_flops,
+            cost.bwd_mem_bytes() as f64,
+            cost.tp_comm_bytes as f64,
+        )
+    }
+
+    /// This device's machine balance (ridge point) in FLOP/B: the arithmetic
+    /// intensity at which a large kernel transitions from memory-bound to
+    /// compute-bound, `(F·α_fop) / (B_mem·α_mem)`.
+    pub fn machine_balance(&self) -> f64 {
+        self.efficiency
+            .machine_balance(self.gpu.peak_flops, self.gpu.mem_bandwidth)
+    }
+
     /// Full stage-pair timing for a chunk whose output activation is
     /// `p2p_bytes` (sent to the next pipeline rank).
     pub fn stage_timing(&self, cost: &LayerCost, p2p_bytes: u64) -> StageTiming {
@@ -97,7 +160,8 @@ impl TimingModel {
         if bytes == 0 {
             return 0.0;
         }
-        bytes as f64 / (bandwidth * self.efficiency.network_efficiency) + 15e-6
+        bytes as f64 / (bandwidth * self.efficiency.network_efficiency)
+            + self.efficiency.link_latency_s
     }
 
     /// Latency of a ring all-reduce of `bytes` over `participants` GPUs
@@ -110,7 +174,8 @@ impl TimingModel {
         let n = participants as f64;
         // Ring all-reduce moves 2 * (n-1)/n * bytes per GPU.
         let volume = 2.0 * (n - 1.0) / n * bytes as f64;
-        volume / (bandwidth * self.efficiency.network_efficiency) + 50e-6
+        volume / (bandwidth * self.efficiency.network_efficiency)
+            + self.efficiency.collective_latency_s
     }
 
     /// Latency of the optimizer step for `param_bytes` of bf16 parameters

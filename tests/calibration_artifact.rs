@@ -1,0 +1,200 @@
+//! Calibration-artifact identity properties: planning through a
+//! constants-encoding [`CalibrationArtifact`] must be bit-identical to the
+//! uncalibrated path on uniform topologies — through the exact-fingerprint
+//! tier *and* the device-kind tier of the fallback chain — while an
+//! artifact carrying genuinely different measurements must change the
+//! simulated outcome (otherwise calibration would be dead weight).
+
+use dip_core::{DipPlan, DipPlanner, PlanRequest, PlannerConfig, PlanningSession, SessionConfig};
+use dip_models::{zoo, BatchWorkload, Modality, ModalityWorkload};
+use dip_pipeline::ParallelConfig;
+use dip_sim::{
+    CalibrationArtifact, CalibrationRegistry, CalibrationSource, ClusterSpec, GpuGeneration,
+    GpuSpec,
+};
+use proptest::prelude::*;
+use std::time::Duration;
+
+fn vlm_batch(images: u64) -> BatchWorkload {
+    let images = images.min(48);
+    BatchWorkload::new()
+        .with(
+            Modality::Text,
+            ModalityWorkload::new(8192 - images * 169, 1),
+        )
+        .with(Modality::Image, ModalityWorkload::new(images * 169, images))
+}
+
+/// An evaluation-bounded (hence deterministic at fixed worker count) planner
+/// configuration.
+fn deterministic_config() -> PlannerConfig {
+    let mut config = PlannerConfig::fast();
+    config.search.time_budget = Duration::from_secs(3600);
+    config.search.max_evaluations = Some(96);
+    config
+}
+
+fn assert_plans_bit_identical(a: &DipPlan, b: &DipPlan) {
+    assert_eq!(a.graph, b.graph, "stage graphs differ");
+    assert_eq!(a.orders, b.orders, "rank orders differ");
+    assert_eq!(a.segment_priorities, b.segment_priorities);
+    assert_eq!(a.memory_plan, b.memory_plan);
+    assert_eq!(a.sub_microbatches, b.sub_microbatches);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// A constants-encoding artifact — resolved through the **exact
+    /// fingerprint** tier or the **device-kind** tier — rewrites every
+    /// device field to its current value, so planning is bit-identical to
+    /// the registry-free path on any uniform topology.
+    #[test]
+    fn constants_artifact_plans_bit_identically_on_uniform_topologies(
+        nodes in 2usize..5,
+        images_a in 0u64..49,
+        images_b in 0u64..49,
+    ) {
+        let spec = zoo::vlm_s();
+        let parallel = ParallelConfig::new(4, 4, 1);
+        let topology = ClusterSpec::h800_cluster(nodes).topology();
+        let request = PlanRequest::new(vec![vlm_batch(images_a), vlm_batch(images_b)]);
+
+        let session_for = |config: PlannerConfig| {
+            PlanningSession::from_planner(
+                DipPlanner::on_topology(&spec, parallel, topology.clone(), config),
+                SessionConfig::default(),
+            )
+        };
+        let plain = session_for(deterministic_config());
+
+        // Tier 1: an artifact pinned to this very topology's fingerprint.
+        let exact_registry = CalibrationRegistry::from_artifact(
+            CalibrationArtifact::builtin_for(&topology),
+        );
+        let exact = session_for(deterministic_config().with_calibration(exact_registry.clone()));
+        // Tier 2: a fleet-agnostic artifact matched by device kind.
+        let kind_registry =
+            CalibrationRegistry::from_artifact(CalibrationArtifact::builtin_defaults());
+        let kind = session_for(deterministic_config().with_calibration(kind_registry));
+
+        // The resolution tiers are what we think they are.
+        prop_assert_eq!(
+            DipPlanner::on_topology(
+                &spec,
+                parallel,
+                topology.clone(),
+                deterministic_config().with_calibration(exact_registry),
+            )
+            .calibration_source(),
+            CalibrationSource::Exact
+        );
+
+        let a = plain.plan(&request).unwrap();
+        let b = exact.plan(&request).unwrap();
+        let c = kind.plan(&request).unwrap();
+        prop_assert_eq!(a.signature, b.signature);
+        prop_assert_eq!(a.signature, c.signature);
+        assert_plans_bit_identical(&a.plan, &b.plan);
+        assert_plans_bit_identical(&a.plan, &c.plan);
+
+        let ta = plain.simulate(&a.plan).unwrap().metrics.iteration_time_s;
+        let tb = exact.simulate(&b.plan).unwrap().metrics.iteration_time_s;
+        let tc = kind.simulate(&c.plan).unwrap().metrics.iteration_time_s;
+        prop_assert_eq!(ta.to_bits(), tb.to_bits());
+        prop_assert_eq!(ta.to_bits(), tc.to_bits());
+    }
+
+    /// The artifact survives its JSON serialization without perturbing the
+    /// identity: plan through `from_json(to_json(artifact))` and the bits
+    /// still match (this is what actually happens in production, where the
+    /// registry is loaded from the committed file).
+    #[test]
+    fn json_round_tripped_artifact_preserves_bit_identity(
+        nodes in 2usize..4,
+        images in 0u64..49,
+    ) {
+        let spec = zoo::vlm_s();
+        let parallel = ParallelConfig::new(4, 4, 1);
+        let topology = ClusterSpec::h800_cluster(nodes).topology();
+        let request = PlanRequest::new(vec![vlm_batch(images)]);
+
+        let artifact = CalibrationArtifact::builtin_for(&topology);
+        let reloaded = CalibrationArtifact::from_json(&artifact.to_json()).unwrap();
+        prop_assert_eq!(&reloaded, &artifact);
+
+        let direct = PlanningSession::from_planner(
+            DipPlanner::on_topology(
+                &spec,
+                parallel,
+                topology.clone(),
+                deterministic_config()
+                    .with_calibration(CalibrationRegistry::from_artifact(artifact)),
+            ),
+            SessionConfig::default(),
+        );
+        let via_json = PlanningSession::from_planner(
+            DipPlanner::on_topology(
+                &spec,
+                parallel,
+                topology,
+                deterministic_config()
+                    .with_calibration(CalibrationRegistry::from_artifact(reloaded)),
+            ),
+            SessionConfig::default(),
+        );
+        let a = direct.plan(&request).unwrap();
+        let b = via_json.plan(&request).unwrap();
+        assert_plans_bit_identical(&a.plan, &b.plan);
+    }
+}
+
+/// An artifact carrying *different* measurements must actually change the
+/// simulation — the witness that the registry is wired through to pricing
+/// and the identity above is not vacuous.
+#[test]
+fn measured_artifact_changes_the_simulated_outcome() {
+    let spec = zoo::vlm_s();
+    let parallel = ParallelConfig::new(4, 4, 1);
+    let topology = ClusterSpec::h800_cluster(2).topology();
+    let request = PlanRequest::new(vec![vlm_batch(10)]);
+
+    let mut artifact = CalibrationArtifact::builtin_for(&topology);
+    let h800_key = GpuSpec::preset(GpuGeneration::H800).device_key();
+    let entry = artifact
+        .devices
+        .iter_mut()
+        .find(|d| d.device_key == h800_key)
+        .expect("H800 entry");
+    // "Measured": this fleet only sustains half the spec-sheet FLOP/s.
+    entry.peak_flops *= 0.5;
+
+    let plain = PlanningSession::from_planner(
+        DipPlanner::on_topology(&spec, parallel, topology.clone(), deterministic_config()),
+        SessionConfig::default(),
+    );
+    let planner = DipPlanner::on_topology(
+        &spec,
+        parallel,
+        topology,
+        deterministic_config().with_calibration(CalibrationRegistry::from_artifact(artifact)),
+    );
+    assert_eq!(planner.calibration_source(), CalibrationSource::Exact);
+    let calibrated = PlanningSession::from_planner(planner, SessionConfig::default());
+
+    let a = plain.plan(&request).unwrap();
+    let b = calibrated.plan(&request).unwrap();
+    let ta = plain.simulate(&a.plan).unwrap().metrics.iteration_time_s;
+    let tb = calibrated
+        .simulate(&b.plan)
+        .unwrap()
+        .metrics
+        .iteration_time_s;
+    assert!(
+        tb > ta,
+        "halving sustained compute must slow the simulated iteration ({ta} vs {tb})"
+    );
+    // The rewritten devices also re-key the plan cache: the two sessions
+    // must never share cache entries.
+    assert_ne!(a.plan.topology_fingerprint, b.plan.topology_fingerprint);
+}
